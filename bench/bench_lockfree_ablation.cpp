@@ -1,0 +1,53 @@
+// Section 3.3.5: impact of lock-free protocol structures.
+//
+// Compares Cashmere-2L against the modified protocol that guards directory
+// entries and write-notice lists with global locks (entries compressed,
+// lists unified — modeled by the per-operation lock cost plus real
+// serialization). The paper reports improvements from the lock-free
+// structures of 5% (Barnes), 5% (Em3d) and 7% (Ilink), tracking each
+// application's volume of directory accesses and write notices.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace cashmere {
+namespace {
+
+void Run(const bench::BenchOptions& opt) {
+  bench::PrintHeader(
+      "Section 3.3.5: lock-free vs global-lock protocol structures at 32 processors");
+  std::printf("%-8s %14s %14s %10s | %14s %12s\n", "Program", "lock-free(s)",
+              "global-lock(s)", "gain", "dir updates", "wr notices");
+  bench::PrintRule(84);
+  const bench::ClusterShape shape{32, 4};
+  for (const AppKind kind : opt.apps) {
+    const AppRunResult lock_free = bench::RunExperiment(
+        kind, {"2L", ProtocolVariant::kTwoLevel, false}, shape, opt.size_class);
+    const AppRunResult locked = bench::RunExperiment(
+        kind, {"2L-lock", ProtocolVariant::kTwoLevelGlobalLock, false}, shape,
+        opt.size_class);
+    const double gain =
+        lock_free.report.ExecTimeSec() > 0
+            ? 100.0 * (locked.report.ExecTimeSec() - lock_free.report.ExecTimeSec()) /
+                  locked.report.ExecTimeSec()
+            : 0.0;
+    std::printf("%-8s %14.3f %14.3f %9.1f%% | %14.1fK %11.1fK%s\n", AppName(kind),
+                lock_free.report.ExecTimeSec(), locked.report.ExecTimeSec(), gain,
+                bench::Kilo(lock_free.report.total.Get(Counter::kDirectoryUpdates)),
+                bench::Kilo(lock_free.report.total.Get(Counter::kWriteNotices)),
+                (lock_free.verified && locked.verified) ? "" : "  (UNVERIFIED)");
+  }
+  std::printf(
+      "\nPaper's finding reproduced when: the gain is largest for the applications\n"
+      "with the most directory accesses and write notices (Barnes ~5%%, Em3d ~5%%,\n"
+      "Ilink ~7%%) and negligible for the rest.\n");
+}
+
+}  // namespace
+}  // namespace cashmere
+
+int main(int argc, char** argv) {
+  const auto opt = cashmere::bench::BenchOptions::Parse(argc, argv);
+  cashmere::Run(opt);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Section 3.3.4: TLB shootdown versus two-way diffing.
+//
+// Reproduces the paper's comparison: 2L (two-way diffing) vs 2LS
+// (shootdown) at 32 processors, with the shootdown mechanism costed for
+// both polling-based messaging (72 us per processor) and intra-node
+// interrupts (142 us). The paper's finding: with polling, 2LS matches 2L
+// (shootdown is rare — only multiple concurrent writers at a release or
+// page update, i.e. false sharing in lock-based applications like Water);
+// with interrupts, Water's execution time rises by ~6%.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace cashmere {
+namespace {
+
+AppRunResult RunOnce(AppKind kind, ProtocolVariant v, DeliveryMode delivery,
+                     int size_class) {
+  Config cfg;
+  cfg.protocol = v;
+  cfg.nodes = 8;
+  cfg.procs_per_node = 4;
+  cfg.delivery = delivery;
+  cfg.cost_scale = 0.0;  // auto: preserve the paper's compute/comm ratio
+  return RunApp(kind, cfg, size_class);
+}
+
+void Run(const bench::BenchOptions& opt) {
+  bench::PrintHeader("Section 3.3.4: shootdown vs two-way diffing at 32 processors");
+  std::printf("%-8s %12s %12s %14s | %12s %12s\n", "Program", "2L exec(s)",
+              "2LS-poll(s)", "2LS-intr(s)", "shootdowns", "2LS/2L");
+  bench::PrintRule(84);
+  for (const AppKind kind : opt.apps) {
+    const AppRunResult two_level =
+        RunOnce(kind, ProtocolVariant::kTwoLevel, DeliveryMode::kPolling, opt.size_class);
+    const AppRunResult shoot_poll = RunOnce(kind, ProtocolVariant::kTwoLevelShootdown,
+                                            DeliveryMode::kPolling, opt.size_class);
+    const AppRunResult shoot_intr = RunOnce(kind, ProtocolVariant::kTwoLevelShootdown,
+                                            DeliveryMode::kInterrupt, opt.size_class);
+    const double ratio =
+        two_level.report.ExecTimeSec() > 0
+            ? shoot_poll.report.ExecTimeSec() / two_level.report.ExecTimeSec()
+            : 0.0;
+    std::printf("%-8s %12.3f %12.3f %14.3f | %12llu %11.2fx%s\n", AppName(kind),
+                two_level.report.ExecTimeSec(), shoot_poll.report.ExecTimeSec(),
+                shoot_intr.report.ExecTimeSec(),
+                static_cast<unsigned long long>(
+                    shoot_poll.report.total.Get(Counter::kShootdowns)),
+                ratio,
+                (two_level.verified && shoot_poll.verified && shoot_intr.verified)
+                    ? ""
+                    : "  (UNVERIFIED)");
+  }
+  std::printf(
+      "\nPaper's finding reproduced when: shootdown counts are nonzero only for the\n"
+      "lock-based programs with false sharing (Water, TSP), 2LS-poll tracks 2L\n"
+      "closely, and the interrupt-based shootdown column is slower for those\n"
+      "programs (the paper reports +6%% for Water).\n");
+}
+
+}  // namespace
+}  // namespace cashmere
+
+int main(int argc, char** argv) {
+  const auto opt = cashmere::bench::BenchOptions::Parse(argc, argv);
+  cashmere::Run(opt);
+  return 0;
+}

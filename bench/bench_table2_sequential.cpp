@@ -1,0 +1,43 @@
+// Table 2: data set sizes and sequential execution time of applications.
+//
+// The reproduction runs scaled-down problems, so this harness reports, per
+// application: the paper's problem size and sequential time, our problem
+// size, the measured host time of the uninstrumented sequential reference,
+// and the modeled 233 MHz-Alpha-equivalent time (host time x calibration).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cashmere/common/calibration.hpp"
+
+namespace cashmere {
+namespace {
+
+void Run(const bench::BenchOptions& opt) {
+  bench::PrintHeader("Table 2: data set sizes and sequential execution time");
+  std::printf("Host->Alpha calibration factor: %.1fx\n\n", HostToAlphaTimeScale());
+  std::printf("%-8s %-22s %10s | %-18s %12s %14s\n", "Program", "Paper size", "Paper (s)",
+              "Our size", "Host (s)", "Alpha-eq (s)");
+  bench::PrintRule(92);
+  for (const AppKind kind : opt.apps) {
+    auto app = MakeApp(kind, opt.size_class);
+    double host = 0.0;
+    double alpha = 0.0;
+    SequentialBaseline(kind, opt.size_class, &host, &alpha, nullptr);
+    std::printf("%-8s %-22s %10.1f | %-18s %12.4f %14.4f\n", app->name(),
+                app->PaperProblemSize(), app->PaperSeqSeconds(), app->ProblemSize().c_str(),
+                host, alpha);
+  }
+  std::printf(
+      "\nNote: absolute times differ from the paper because problem sizes are scaled\n"
+      "down for a single-host run; the Alpha-equivalent column is the sequential\n"
+      "baseline used for every speedup in Figure 7.\n");
+}
+
+}  // namespace
+}  // namespace cashmere
+
+int main(int argc, char** argv) {
+  const auto opt = cashmere::bench::BenchOptions::Parse(argc, argv);
+  cashmere::Run(opt);
+  return 0;
+}

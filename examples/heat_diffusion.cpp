@@ -1,0 +1,106 @@
+// Heat diffusion on a 2D plate — the class of iterative PDE solvers that
+// motivates software DSM (the paper's SOR benchmark is the same shape).
+//
+// A plate with a hot edge is relaxed with a Jacobi stencil. Rows are
+// banded across processors; only band-boundary pages are actively shared,
+// so the two-level protocol keeps almost all coherence traffic inside SMP
+// nodes. The example runs the same problem under Cashmere-2L and the
+// one-level protocol and compares the communication statistics.
+#include <cstdio>
+#include <vector>
+
+#include "cashmere/runtime/runtime.hpp"
+
+namespace {
+
+constexpr int kRows = 128;
+constexpr int kCols = 1024;  // one page per row: clean banding
+constexpr int kIters = 30;
+
+double RunOnce(cashmere::ProtocolVariant variant, cashmere::Stats* stats_out) {
+  using namespace cashmere;
+  Config cfg;
+  cfg.protocol = variant;
+  cfg.nodes = 4;
+  cfg.procs_per_node = 4;
+  cfg.heap_bytes = 2 * kRows * kCols * sizeof(double) + (1 << 20);
+  Runtime rt(cfg);
+
+  const GlobalAddr cur = rt.heap().AllocPageAligned(kRows * kCols * sizeof(double));
+  const GlobalAddr nxt = rt.heap().AllocPageAligned(kRows * kCols * sizeof(double));
+  rt.Run([&](Context& ctx) {
+    double* a = ctx.Ptr<double>(cur);
+    double* b = ctx.Ptr<double>(nxt);
+    if (ctx.proc() == 0) {
+      for (int j = 0; j < kCols; ++j) {
+        a[j] = b[j] = 100.0;  // hot top edge
+      }
+      for (int i = 1; i < kRows; ++i) {
+        for (int j = 0; j < kCols; ++j) {
+          a[static_cast<std::size_t>(i) * kCols + j] = 0.0;
+        }
+      }
+    }
+    ctx.Barrier(0);
+    ctx.InitDone();
+
+    const int procs = ctx.total_procs();
+    const int band = (kRows + procs - 1) / procs;
+    const int begin = ctx.proc() * band < kRows ? ctx.proc() * band : kRows;
+    const int end = begin + band < kRows ? begin + band : kRows;
+    double* src = a;
+    double* dst = b;
+    for (int it = 0; it < kIters; ++it) {
+      ctx.Poll();
+      for (int i = begin; i < end; ++i) {
+        if (i == 0 || i == kRows - 1) {
+          continue;
+        }
+        for (int j = 1; j < kCols - 1; ++j) {
+          const std::size_t k = static_cast<std::size_t>(i) * kCols + j;
+          dst[k] = 0.25 * (src[k - kCols] + src[k + kCols] + src[k - 1] + src[k + 1]);
+        }
+      }
+      ctx.Barrier(0);
+      std::swap(src, dst);
+    }
+  });
+
+  std::vector<double> plate(static_cast<std::size_t>(kRows) * kCols);
+  rt.CopyOut(kIters % 2 == 0 ? cur : nxt, plate.data(), plate.size() * sizeof(double));
+  double heat = 0.0;
+  for (const double t : plate) {
+    heat += t;
+  }
+  if (stats_out != nullptr) {
+    *stats_out = rt.report().total;
+  }
+  return heat;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cashmere;
+  Stats two_level;
+  Stats one_level;
+  const double heat2 = RunOnce(ProtocolVariant::kTwoLevel, &two_level);
+  const double heat1 = RunOnce(ProtocolVariant::kOneLevelDiff, &one_level);
+
+  std::printf("Heat diffusion, %dx%d plate, %d iterations, 16 processors\n", kRows, kCols,
+              kIters);
+  std::printf("  total heat: 2L=%.3f  1LD=%.3f  (%s)\n\n", heat2, heat1,
+              heat2 == heat1 ? "identical" : "MISMATCH");
+  std::printf("  %-22s %12s %12s\n", "statistic", "Cashmere-2L", "1-level");
+  const Counter interesting[] = {Counter::kPageTransfers, Counter::kWriteNotices,
+                                 Counter::kDirectoryUpdates, Counter::kDataBytes};
+  for (const Counter c : interesting) {
+    std::printf("  %-22s %12llu %12llu\n", CounterName(c),
+                static_cast<unsigned long long>(two_level.Get(c)),
+                static_cast<unsigned long long>(one_level.Get(c)));
+  }
+  std::printf(
+      "\nThe two-level protocol coalesces intra-node sharing in hardware, cutting\n"
+      "page transfers and data moved — the paper's central claim.\n");
+  return heat2 == heat1 ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Quickstart: the smallest complete Cashmere-2L program.
+//
+// Creates an emulated 4-node x 2-processor cluster, allocates a shared
+// array, fills it in parallel, sums it with a lock-protected accumulator,
+// and prints the protocol statistics of the run.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "cashmere/runtime/runtime.hpp"
+
+int main() {
+  using namespace cashmere;
+
+  // 1. Configure the cluster: 4 SMP nodes x 2 processors, Cashmere-2L.
+  Config cfg;
+  cfg.protocol = ProtocolVariant::kTwoLevel;
+  cfg.nodes = 4;
+  cfg.procs_per_node = 2;
+  cfg.heap_bytes = 4 * 1024 * 1024;
+
+  Runtime rt(cfg);
+
+  // 2. Allocate shared data (before the parallel region, as the paper's
+  //    applications do). Allocation returns heap offsets that every
+  //    processor translates through its own view.
+  constexpr int kN = 100000;
+  const GlobalAddr numbers = rt.AllocArray<double>(kN);
+  const GlobalAddr total = rt.AllocArray<double>(1);
+
+  // 3. Run one function on every emulated processor.
+  rt.Run([&](Context& ctx) {
+    double* x = ctx.Ptr<double>(numbers);
+
+    // Data-parallel phase: each processor fills its chunk. Page faults
+    // drive the coherence protocol transparently.
+    const int chunk = (kN + ctx.total_procs() - 1) / ctx.total_procs();
+    const int begin = ctx.proc() * chunk;
+    const int end = begin + chunk < kN ? begin + chunk : kN;
+    for (int i = begin; i < end; ++i) {
+      x[i] = 1.0 / ((i + 1) * (i + 2));  // telescoping: sums to n/(n+1)
+    }
+
+    // Barriers separate phases (release consistency: all writes before the
+    // barrier are visible to all processors after it).
+    ctx.Barrier(0);
+
+    // Reduction phase: local sum, then a lock-protected global update —
+    // the migratory sharing pattern.
+    double local = 0.0;
+    for (int i = begin; i < end; ++i) {
+      local += x[i];
+    }
+    ctx.LockAcquire(0);
+    *ctx.Ptr<double>(total) += local;
+    ctx.LockRelease(0);
+
+    ctx.Barrier(0);
+    if (ctx.proc() == 0) {
+      std::printf("sum = %.9f (expected %.9f)\n", *ctx.Ptr<double>(total),
+                  static_cast<double>(kN) / (kN + 1));
+    }
+  });
+
+  // 4. Inspect the run: every Table-3-style statistic is available.
+  std::printf("\nProtocol statistics (%s):\n%s", cfg.Describe().c_str(),
+              rt.report().ToString().c_str());
+  return 0;
+}

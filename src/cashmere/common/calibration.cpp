@@ -1,0 +1,61 @@
+#include "cashmere/common/calibration.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "cashmere/common/virtual_clock.hpp"
+
+namespace cashmere {
+
+namespace {
+
+// A streaming array kernel representative of the benchmark suite's inner
+// loops (SOR/Gauss/Em3d-style: loads, a multiply-add, a store per element).
+// It is deliberately vectorizable: the host runs it the way it runs the
+// applications, while the in-order, scalar 21064A is modeled below.
+double RunKernelOnce(std::vector<double>& a, const std::vector<double>& b,
+                     const std::vector<double>& c, int reps) {
+  const std::size_t n = a.size();
+  for (int r = 0; r < reps; ++r) {
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      a[i] = 0.25 * (b[i - 1] + b[i + 1] + b[i] * c[i]) + 0.5 * a[i];
+    }
+  }
+  return a[n / 2];
+}
+
+double MeasureScale() {
+  // Model: per element the kernel needs ~4 loads, 1 store, 3 FP adds, 2 FP
+  // multiplies plus loop overhead. On the in-order, dual-issue 21064A with
+  // its multi-cycle FP latencies and no L1-miss overlap this is roughly 12
+  // cycles per element at 233 MHz.
+  constexpr double kAlphaCyclesPerElem = 12.0;
+  constexpr double kAlphaNsPerElem = kAlphaCyclesPerElem / 0.233;
+
+  constexpr std::size_t kN = 1 << 16;  // 512 KB working set: fits in L2
+  constexpr int kReps = 50;
+  std::vector<double> a(kN, 1.0);
+  std::vector<double> b(kN, 0.999);
+  std::vector<double> c(kN, 1.001);
+  volatile double sink = RunKernelOnce(a, b, c, 4);  // warm up
+  const std::uint64_t t0 = ThreadCpuNowNs();
+  sink = RunKernelOnce(a, b, c, kReps);
+  const std::uint64_t t1 = ThreadCpuNowNs();
+  (void)sink;
+  const double host_ns_per_elem =
+      static_cast<double>(t1 - t0) / (static_cast<double>(kN) * kReps);
+  if (host_ns_per_elem <= 0.0) {
+    return 1.0;
+  }
+  return std::clamp(kAlphaNsPerElem / host_ns_per_elem, 1.0, 1000.0);
+}
+
+}  // namespace
+
+double HostToAlphaTimeScale() {
+  static const double scale = MeasureScale();
+  return scale;
+}
+
+}  // namespace cashmere

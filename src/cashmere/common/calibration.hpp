@@ -1,0 +1,16 @@
+// Host-to-Alpha calibration: estimates how much slower a 233 MHz Alpha
+// 21064A would execute user compute than this host, so measured thread CPU
+// time can be scaled into paper-era virtual time.
+#ifndef CASHMERE_COMMON_CALIBRATION_HPP_
+#define CASHMERE_COMMON_CALIBRATION_HPP_
+
+namespace cashmere {
+
+// Returns the multiplicative factor applied to measured host CPU time.
+// Computed once per process (cached); typical values are 20-100 on modern
+// x86 hosts.
+double HostToAlphaTimeScale();
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_COMMON_CALIBRATION_HPP_

@@ -1,0 +1,45 @@
+#include "cashmere/common/config.hpp"
+
+#include <cstdio>
+
+namespace cashmere {
+
+const char* ProtocolVariantName(ProtocolVariant v) {
+  switch (v) {
+    case ProtocolVariant::kTwoLevel:
+      return "2L";
+    case ProtocolVariant::kTwoLevelShootdown:
+      return "2LS";
+    case ProtocolVariant::kTwoLevelGlobalLock:
+      return "2L-lock";
+    case ProtocolVariant::kOneLevelDiff:
+      return "1LD";
+    case ProtocolVariant::kOneLevelWriteDouble:
+      return "1L";
+  }
+  return "?";
+}
+
+bool IsTwoLevel(ProtocolVariant v) {
+  switch (v) {
+    case ProtocolVariant::kTwoLevel:
+    case ProtocolVariant::kTwoLevelShootdown:
+    case ProtocolVariant::kTwoLevelGlobalLock:
+      return true;
+    case ProtocolVariant::kOneLevelDiff:
+    case ProtocolVariant::kOneLevelWriteDouble:
+      return false;
+  }
+  return true;
+}
+
+std::string Config::Describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s %d:%d heap=%zuKB pages=%zu sp=%zu%s%s",
+                ProtocolVariantName(protocol), total_procs(), procs_per_node,
+                heap_bytes / 1024, pages(), superpage_pages, home_opt ? " home-opt" : "",
+                delivery == DeliveryMode::kInterrupt ? " interrupts" : "");
+  return buf;
+}
+
+}  // namespace cashmere

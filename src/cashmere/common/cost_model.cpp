@@ -1,0 +1,85 @@
+#include "cashmere/common/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cashmere {
+
+namespace {
+
+// Linear interpolation between the measured empty-diff and full-page-diff
+// endpoints, by fraction of the page that changed.
+double Interp(double min_us, double max_us, std::size_t words_changed) {
+  const double frac =
+      std::min(1.0, static_cast<double>(words_changed) / static_cast<double>(kWordsPerPage));
+  return min_us + (max_us - min_us) * frac;
+}
+
+}  // namespace
+
+CostModel CostModel::ScaledBy(double f) const {
+  CostModel scaled = *this;
+  scaled.mc_write_latency_us *= f;
+  scaled.mprotect_us *= f;
+  scaled.page_fault_us *= f;
+  scaled.twin_us *= f;
+  scaled.dir_update_us *= f;
+  scaled.dir_update_locked_us *= f;
+  scaled.dir_lock_us *= f;
+  scaled.diff_out_remote_min_us *= f;
+  scaled.diff_out_remote_max_us *= f;
+  scaled.diff_out_local_min_us *= f;
+  scaled.diff_out_local_max_us *= f;
+  scaled.diff_in_min_us *= f;
+  scaled.diff_in_max_us *= f;
+  scaled.lock_acquire_2l_us *= f;
+  scaled.lock_acquire_1l_us *= f;
+  scaled.barrier_2proc_2l_us *= f;
+  scaled.barrier_32proc_2l_us *= f;
+  scaled.barrier_2proc_1l_us *= f;
+  scaled.barrier_32proc_1l_us *= f;
+  scaled.page_transfer_local_us *= f;
+  scaled.page_transfer_remote_2l_us *= f;
+  scaled.page_transfer_remote_1l_us *= f;
+  scaled.intra_node_interrupt_us *= f;
+  scaled.inter_node_interrupt_us *= f;
+  scaled.shootdown_poll_us *= f;
+  scaled.shootdown_interrupt_us *= f;
+  scaled.mc_ns_per_byte *= f;
+  scaled.poll_ns *= f;
+  scaled.request_handle_us *= f;
+  scaled.write_double_word_us *= f;
+  scaled.write_double_word_home_us *= f;
+  return scaled;
+}
+
+std::uint64_t CostModel::DiffOutNs(std::size_t words_changed, bool home_local) const {
+  if (home_local) {
+    return UsToNs(Interp(diff_out_local_min_us, diff_out_local_max_us, words_changed));
+  }
+  return UsToNs(Interp(diff_out_remote_min_us, diff_out_remote_max_us, words_changed));
+}
+
+std::uint64_t CostModel::DiffInNs(std::size_t words_changed) const {
+  return UsToNs(Interp(diff_in_min_us, diff_in_max_us, words_changed));
+}
+
+std::uint64_t CostModel::BarrierNs(int total_procs, bool two_level) const {
+  // Interpolate between the measured 2-processor and 32-processor barrier
+  // costs; barrier latency grows roughly logarithmically with participants,
+  // but the paper only reports the two endpoints, so interpolate linearly
+  // in processor count.
+  const double lo = two_level ? barrier_2proc_2l_us : barrier_2proc_1l_us;
+  const double hi = two_level ? barrier_32proc_2l_us : barrier_32proc_1l_us;
+  const double frac = std::clamp((static_cast<double>(total_procs) - 2.0) / 30.0, 0.0, 1.0);
+  return UsToNs(lo + (hi - lo) * frac);
+}
+
+std::uint64_t CostModel::PageTransferNs(bool requester_on_home_node, bool two_level) const {
+  if (requester_on_home_node) {
+    return UsToNs(page_transfer_local_us);
+  }
+  return UsToNs(two_level ? page_transfer_remote_2l_us : page_transfer_remote_1l_us);
+}
+
+}  // namespace cashmere

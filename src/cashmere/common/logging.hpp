@@ -1,0 +1,28 @@
+// Minimal check/abort macros. The fault path runs inside a SIGSEGV handler,
+// so failures print with write(2) where possible and abort.
+#ifndef CASHMERE_COMMON_LOGGING_HPP_
+#define CASHMERE_COMMON_LOGGING_HPP_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cashmere {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CASHMERE CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace cashmere
+
+#define CSM_CHECK(expr)                                   \
+  do {                                                    \
+    if (!(expr)) {                                        \
+      ::cashmere::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                     \
+  } while (0)
+
+#define CSM_DCHECK(expr) CSM_CHECK(expr)
+
+#endif  // CASHMERE_COMMON_LOGGING_HPP_

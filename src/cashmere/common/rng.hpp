@@ -1,0 +1,33 @@
+// Deterministic, cheap pseudo-random number generation for workloads and
+// property tests (SplitMix64).
+#ifndef CASHMERE_COMMON_RNG_HPP_
+#define CASHMERE_COMMON_RNG_HPP_
+
+#include <cstdint>
+
+namespace cashmere {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound).
+  std::uint64_t NextBelow(std::uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_COMMON_RNG_HPP_

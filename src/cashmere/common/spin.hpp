@@ -1,0 +1,75 @@
+// Spin primitives tuned for a heavily oversubscribed host: every spin loop
+// yields quickly so that 32 emulated processors make progress on few cores.
+#ifndef CASHMERE_COMMON_SPIN_HPP_
+#define CASHMERE_COMMON_SPIN_HPP_
+
+#include <atomic>
+#include <cstdint>
+
+#include <sched.h>
+
+namespace cashmere {
+
+// Call once per iteration of any wait loop. Spins briefly, then yields.
+class Backoff {
+ public:
+  void Pause() {
+    if (++spins_ <= kSpinsBeforeYield) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+    } else {
+      sched_yield();
+    }
+  }
+
+  void Reset() { spins_ = 0; }
+
+ private:
+  static constexpr int kSpinsBeforeYield = 16;
+  int spins_ = 0;
+};
+
+// A simple test-and-test-and-set spin lock. Used for intra-node protocol
+// structures (the paper's ll/sc-protected local locks). Safe to take inside
+// the SIGSEGV fault path because holders never block.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void Lock() {
+    Backoff backoff;
+    while (true) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      while (locked_.load(std::memory_order_relaxed)) {
+        backoff.Pause();
+      }
+    }
+  }
+
+  bool TryLock() { return !locked_.exchange(true, std::memory_order_acquire); }
+
+  void Unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.Lock(); }
+  ~SpinLockGuard() { lock_.Unlock(); }
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_COMMON_SPIN_HPP_

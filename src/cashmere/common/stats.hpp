@@ -1,0 +1,73 @@
+// Per-processor event counters for the Table 3 statistics, plus the time
+// breakdown needed for Figure 6. Counters are plain (non-atomic) because
+// each processor owns its own Stats instance; aggregation happens after
+// the run.
+#ifndef CASHMERE_COMMON_STATS_HPP_
+#define CASHMERE_COMMON_STATS_HPP_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "cashmere/common/cost_model.hpp"
+#include "cashmere/common/types.hpp"
+
+namespace cashmere {
+
+// Rows of the paper's Table 3 (plus a few internal extras).
+enum class Counter : int {
+  kLockAcquires = 0,
+  kFlagAcquires,
+  kBarriers,
+  kReadFaults,
+  kWriteFaults,
+  kPageTransfers,
+  kDirectoryUpdates,
+  kWriteNotices,
+  kExclTransitions,  // transitions into and out of exclusive mode
+  kDataBytes,        // all data placed on the Memory Channel
+  kTwinCreations,
+  kIncomingDiffs,
+  kFlushUpdates,
+  kShootdowns,
+  kPageFlushes,
+  kPolls,
+  kMessagesHandled,
+  kHomeRelocations,
+  kNumCounters,
+};
+inline constexpr int kNumCounters = static_cast<int>(Counter::kNumCounters);
+
+const char* CounterName(Counter c);
+
+struct Stats {
+  std::array<std::uint64_t, kNumCounters> counts{};
+  std::array<std::uint64_t, kNumTimeCategories> time_ns{};
+
+  void Add(Counter c, std::uint64_t n = 1) { counts[static_cast<int>(c)] += n; }
+  std::uint64_t Get(Counter c) const { return counts[static_cast<int>(c)]; }
+  void AddTime(TimeCategory cat, std::uint64_t ns) { time_ns[static_cast<int>(cat)] += ns; }
+
+  Stats& operator+=(const Stats& other);
+};
+
+// Aggregated report over all processors of a run.
+struct StatsReport {
+  Stats total;
+  VirtTime exec_time_ns = 0;  // max final virtual clock over processors
+  // Raw host CPU nanoseconds attributed to user compute, summed over
+  // processors (pre-scaling); used for dilation correction.
+  std::uint64_t user_host_ns = 0;
+
+  double ExecTimeSec() const { return static_cast<double>(exec_time_ns) / 1e9; }
+  // Human-readable multi-line summary in the style of the paper's Table 3.
+  std::string ToString() const;
+  // Machine-readable forms for downstream analysis. The CSV header row and
+  // a value row (matching column order); keys are stable kebab-case names.
+  static std::string CsvHeader();
+  std::string ToCsvRow() const;
+};
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_COMMON_STATS_HPP_

@@ -1,0 +1,27 @@
+// Lightweight event tracing for protocol debugging. Enabled by setting the
+// CASHMERE_TRACE environment variable; compiled in but branch-predicted
+// away otherwise. Output goes to stderr, one line per protocol event.
+#ifndef CASHMERE_COMMON_TRACE_HPP_
+#define CASHMERE_COMMON_TRACE_HPP_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cashmere {
+
+inline bool TraceEnabled() {
+  static const bool enabled =
+      std::getenv("CASHMERE_TRACE") != nullptr || std::getenv("CSM_TRACE") != nullptr;
+  return enabled;
+}
+
+}  // namespace cashmere
+
+#define CSM_TRACE(...)                    \
+  do {                                    \
+    if (::cashmere::TraceEnabled()) {     \
+      std::fprintf(stderr, __VA_ARGS__);  \
+    }                                     \
+  } while (0)
+
+#endif  // CASHMERE_COMMON_TRACE_HPP_

@@ -1,0 +1,55 @@
+// Core identifier types and fixed platform constants for the Cashmere-2L
+// reproduction. The emulated platform mirrors the paper's prototype: up to
+// eight SMP nodes with up to four processors each, 8 KB pages, and 32-bit
+// Memory Channel write granularity.
+#ifndef CASHMERE_COMMON_TYPES_HPP_
+#define CASHMERE_COMMON_TYPES_HPP_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cashmere {
+
+// Hard platform bounds (matching the paper's 8x4 AlphaServer cluster).
+inline constexpr int kMaxNodes = 8;
+inline constexpr int kMaxProcsPerNode = 4;
+inline constexpr int kMaxProcs = kMaxNodes * kMaxProcsPerNode;
+
+// Coherence granularity: 8 KB pages, 32-bit Memory Channel words.
+inline constexpr std::size_t kPageBytes = 8192;
+inline constexpr std::size_t kWordBytes = 4;
+inline constexpr std::size_t kWordsPerPage = kPageBytes / kWordBytes;
+
+// A processor id is global across the cluster: procs of node n are
+// [n * procs_per_node, (n + 1) * procs_per_node).
+using ProcId = int;
+using NodeId = int;
+
+// A coherence "unit" is the entity the inter-node protocol level sees:
+// an SMP node for two-level protocols, a single processor for one-level
+// protocols.
+using UnitId = int;
+
+// Page index within the shared heap.
+using PageId = std::uint32_t;
+inline constexpr PageId kInvalidPage = static_cast<PageId>(-1);
+
+// Byte offset into the shared heap; the portable name for a shared datum.
+using GlobalAddr = std::uint64_t;
+
+// Virtual time in nanoseconds (see VirtualClock).
+using VirtTime = std::uint64_t;
+
+// Page access permissions, as tracked by both directory levels.
+enum class Perm : std::uint8_t {
+  kInvalid = 0,
+  kRead = 1,
+  kReadWrite = 2,
+};
+
+inline PageId PageOf(GlobalAddr addr) { return static_cast<PageId>(addr / kPageBytes); }
+inline std::size_t PageOffset(GlobalAddr addr) { return addr % kPageBytes; }
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_COMMON_TYPES_HPP_

@@ -1,0 +1,107 @@
+// Per-processor virtual clock.
+//
+// The reproduction runs on an arbitrary (possibly single-core) host, so wall
+// clock is meaningless. Instead every emulated processor advances a virtual
+// clock:
+//   - user compute: measured thread CPU time between protocol entries,
+//     multiplied by a host->Alpha-21064A calibration factor;
+//   - protocol operations: the paper's measured cost constants;
+//   - waits: the clock jumps forward to the event that released the wait
+//     (lock release time, message service completion, barrier max).
+// Reported execution time is the maximum final clock over all processors.
+#ifndef CASHMERE_COMMON_VIRTUAL_CLOCK_HPP_
+#define CASHMERE_COMMON_VIRTUAL_CLOCK_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <ctime>
+
+#include "cashmere/common/cost_model.hpp"
+#include "cashmere/common/stats.hpp"
+#include "cashmere/common/types.hpp"
+
+namespace cashmere {
+
+inline std::uint64_t ThreadCpuNowNs() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+class VirtualClock {
+ public:
+  void Start(double time_scale) {
+    scale_ = time_scale;
+    now_ns_ = 0;
+    user_host_ns_ = 0;
+    depth_ = 0;
+    last_cpu_mark_ns_ = ThreadCpuNowNs();
+  }
+
+  VirtTime now() const { return now_ns_; }
+
+  // Protocol section nesting: only the outermost entry/exit converts the
+  // elapsed CPU time into user virtual time, so nested protocol operations
+  // (a fault inside a barrier flush, a message handled while waiting) do
+  // not double-charge.
+  void EnterProtocol(Stats& stats) {
+    if (depth_++ == 0) {
+      AccrueUser(stats);
+    }
+  }
+  void ExitProtocol() {
+    if (--depth_ == 0) {
+      last_cpu_mark_ns_ = ThreadCpuNowNs();
+    }
+  }
+  int depth() const { return depth_; }
+
+  // Charge a modeled cost to a category.
+  void Charge(Stats& stats, TimeCategory cat, std::uint64_t ns) {
+    now_ns_ += ns;
+    stats.AddTime(cat, ns);
+  }
+
+  // Jump forward to an externally imposed time (wait reconciliation); the
+  // gap is accounted as communication-and-wait time.
+  void AdvanceTo(Stats& stats, VirtTime t) {
+    if (t > now_ns_) {
+      stats.AddTime(TimeCategory::kCommWait, t - now_ns_);
+      now_ns_ = t;
+    }
+  }
+
+  // Fold outstanding measured CPU time into user time (also used at the end
+  // of the run).
+  void AccrueUser(Stats& stats) {
+    const std::uint64_t cpu = ThreadCpuNowNs();
+    if (cpu > last_cpu_mark_ns_) {
+      const std::uint64_t host = cpu - last_cpu_mark_ns_;
+      user_host_ns_ += host;
+      const auto delta =
+          static_cast<std::uint64_t>(static_cast<double>(host) * scale_);
+      now_ns_ += delta;
+      stats.AddTime(TimeCategory::kUser, delta);
+    }
+    last_cpu_mark_ns_ = cpu;
+  }
+
+  // Raw (unscaled) host CPU time attributed to user compute. Used for the
+  // oversubscription-dilation correction: on a heavily oversubscribed host,
+  // per-thread CPU measurements inflate with cache pollution and context
+  // switches, so harnesses compare this against the sequential baseline and
+  // re-run with an adjusted scale (see apps/app.cpp).
+  std::uint64_t user_host_ns() const { return user_host_ns_; }
+
+ private:
+  VirtTime now_ns_ = 0;
+  std::uint64_t last_cpu_mark_ns_ = 0;
+  std::uint64_t user_host_ns_ = 0;
+  double scale_ = 1.0;
+  int depth_ = 0;
+};
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_COMMON_VIRTUAL_CLOCK_HPP_

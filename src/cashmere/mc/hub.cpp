@@ -1,0 +1,101 @@
+#include "cashmere/mc/hub.hpp"
+
+#include <cstring>
+
+#include "cashmere/common/logging.hpp"
+
+namespace cashmere {
+
+namespace {
+
+std::atomic<std::uint32_t>* AsAtomic(void* p) {
+  return reinterpret_cast<std::atomic<std::uint32_t>*>(p);
+}
+
+const std::uint32_t* AsWords(const void* p) { return static_cast<const std::uint32_t*>(p); }
+
+}  // namespace
+
+void CopyWords32(void* dst, const void* src, std::size_t words) {
+  auto* d = AsAtomic(dst);
+  const std::uint32_t* s = AsWords(src);
+  for (std::size_t i = 0; i < words; ++i) {
+    // The source may be concurrently written (race-free programs never race
+    // on the same word, but neighbouring words of a page move while we
+    // copy), so loads are atomic too.
+    const std::uint32_t v =
+        reinterpret_cast<const std::atomic<std::uint32_t>*>(s + i)->load(
+            std::memory_order_relaxed);
+    d[i].store(v, std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+std::uint32_t LoadWord32(const void* src) {
+  return reinterpret_cast<const std::atomic<std::uint32_t>*>(src)->load(
+      std::memory_order_acquire);
+}
+
+void StoreWord32(void* dst, std::uint32_t value) {
+  AsAtomic(dst)->store(value, std::memory_order_release);
+}
+
+void McHub::OrderedBroadcast32(std::uint32_t* location, std::uint32_t value, Traffic t) {
+  SpinLockGuard guard(order_lock_);
+  AsAtomic(location)->store(value, std::memory_order_release);
+  AccountWrite(t, kWordBytes * static_cast<std::size_t>(units_));
+}
+
+std::uint32_t McHub::OrderedExchange32(std::uint32_t* location, std::uint32_t value, Traffic t) {
+  SpinLockGuard guard(order_lock_);
+  const std::uint32_t prev = AsAtomic(location)->load(std::memory_order_acquire);
+  AsAtomic(location)->store(value, std::memory_order_release);
+  AccountWrite(t, kWordBytes * static_cast<std::size_t>(units_));
+  return prev;
+}
+
+void McHub::WriteStream(void* dst, const void* src, std::size_t words, Traffic t) {
+  CopyWords32(dst, src, words);
+  AccountWrite(t, words * kWordBytes);
+}
+
+void McHub::Write32(std::uint32_t* dst, std::uint32_t value, Traffic t) {
+  AsAtomic(dst)->store(value, std::memory_order_release);
+  AccountWrite(t, kWordBytes);
+}
+
+void McHub::AccountWrite(Traffic t, std::size_t bytes) {
+  bytes_[static_cast<int>(t)].fetch_add(bytes, std::memory_order_relaxed);
+  writes_[static_cast<int>(t)].fetch_add(1, std::memory_order_relaxed);
+}
+
+VirtTime McHub::ReserveBus(VirtTime earliest, std::size_t bytes) {
+  if (ns_per_byte_ <= 0.0) {
+    return earliest;
+  }
+  const auto duration =
+      static_cast<std::uint64_t>(static_cast<double>(bytes) * ns_per_byte_);
+  std::uint64_t seen = bus_clock_.load(std::memory_order_relaxed);
+  while (true) {
+    const std::uint64_t start = seen > earliest ? seen : earliest;
+    const std::uint64_t end = start + duration;
+    if (bus_clock_.compare_exchange_weak(seen, end, std::memory_order_acq_rel)) {
+      return end;
+    }
+  }
+}
+
+std::uint64_t McHub::TotalBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& b : bytes_) {
+    total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t McHub::DataBytes() const {
+  return BytesSent(Traffic::kPageData) + BytesSent(Traffic::kDiffData) +
+         BytesSent(Traffic::kWriteNotice);
+}
+
+}  // namespace cashmere

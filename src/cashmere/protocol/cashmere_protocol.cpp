@@ -1,0 +1,898 @@
+#include "cashmere/protocol/cashmere_protocol.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "cashmere/common/logging.hpp"
+#include "cashmere/common/trace.hpp"
+#include "cashmere/protocol/diff.hpp"
+
+
+namespace cashmere {
+
+namespace {
+
+inline std::uint8_t Bit(int i) { return static_cast<std::uint8_t>(1u << i); }
+
+}  // namespace
+
+CashmereProtocol::CashmereProtocol(Deps deps) : deps_(deps), cfg_(*deps.cfg) {
+  deps_.msg->set_handler(this);
+}
+
+// ---------------------------------------------------------------------------
+// Topology helpers
+
+bool CashmereProtocol::UnitAtMaster(UnitId unit, PageId page) const {
+  const UnitId home = deps_.homes->HomeOfPage(page);
+  if (unit == home) {
+    return true;
+  }
+  if (cfg_.home_opt && !cfg_.two_level()) {
+    // Home-node optimization: processors on the home processor's SMP node
+    // share the master frame in hardware.
+    return cfg_.NodeOfProc(cfg_.FirstProcOfUnit(unit)) ==
+           cfg_.NodeOfProc(cfg_.FirstProcOfUnit(home));
+  }
+  return false;
+}
+
+std::byte* CashmereProtocol::MasterPtr(PageId page) const {
+  const UnitId home = deps_.homes->HomeOfPage(page);
+  return (*deps_.arenas)[static_cast<std::size_t>(home)]->PagePtr(page);
+}
+
+std::byte* CashmereProtocol::WorkingPtr(UnitId unit, PageId page) const {
+  if (UnitAtMaster(unit, page)) {
+    return MasterPtr(page);
+  }
+  return (*deps_.arenas)[static_cast<std::size_t>(unit)]->PagePtr(page);
+}
+
+void CashmereProtocol::ProtectLocal(Context& ctx, PageLocal& pl, UnitId unit, int local_index,
+                                    PageId page, Perm perm) {
+  if (pl.PermOfLocal(local_index) == perm) {
+    return;
+  }
+  pl.SetPermOfLocal(local_index, perm);
+  CSM_TRACE("[p%d] protect page=%u proc=%d perm=%d\n", ctx.proc(), page,
+            GlobalProc(unit, local_index), static_cast<int>(perm));
+  if (cfg_.fault_mode == FaultMode::kSigsegv) {
+    ViewOf(GlobalProc(unit, local_index)).Protect(page, perm);
+  }
+  ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                     CostModel::UsToNs(cfg_.costs.mprotect_us));
+}
+
+// ---------------------------------------------------------------------------
+// Directory helpers
+
+void CashmereProtocol::UpdateDirWord(Context& ctx, PageId page, DirWord word) {
+  if (IsGlobalLock()) {
+    SpinLockGuard guard(deps_.dir->EntryLock(page));
+    deps_.dir->Write(page, ctx.unit(), word);
+    ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                       CostModel::UsToNs(cfg_.costs.dir_update_locked_us));
+  } else {
+    deps_.dir->Write(page, ctx.unit(), word);
+    ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                       CostModel::UsToNs(cfg_.costs.dir_update_us));
+  }
+  ctx.stats().Add(Counter::kDirectoryUpdates);
+}
+
+void CashmereProtocol::RefreshLoosestPerm(Context& ctx, PageLocal& pl, PageId page) {
+  Perm loosest = pl.Loosest(cfg_.procs_per_unit());
+  // Keep presence in the sharing set while the unit holds unflushed
+  // modifications (no other unit may claim exclusive mode and later
+  // overwrite our pending flush with a stale full-page copy), and while a
+  // fetch is in flight (a concurrent releaser must count us as a sharer so
+  // we receive its write notice — the paper updates the directory entry
+  // *first* in the fault handler for exactly this reason).
+  if (loosest == Perm::kInvalid &&
+      (pl.dirty_mask != 0 || pl.twin_valid ||
+       pl.fetch_in_progress.load(std::memory_order_acquire))) {
+    loosest = Perm::kRead;
+  }
+  DirWord word;
+  word.perm = loosest;
+  word.exclusive = pl.exclusive;
+  word.excl_proc = pl.exclusive ? pl.excl_proc : 0;
+  const DirWord current = deps_.dir->Read(page, ctx.unit());
+  if (current.Pack() != word.Pack()) {
+    UpdateDirWord(ctx, page, word);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Polling and request handling
+
+void CashmereProtocol::Poll(Context& ctx) {
+  ctx.stats().Add(Counter::kPolls);
+  ctx.clock().Charge(ctx.stats(), TimeCategory::kPolling,
+                     static_cast<std::uint64_t>(cfg_.costs.poll_ns));
+  if (deps_.msg->HasPending(ctx.unit())) {
+    ProtocolScope scope(ctx);
+    deps_.msg->Poll(ctx.unit());
+  }
+}
+
+void CashmereProtocol::HandleRequest(const Request& request) {
+  Context& ctx = *Context::Current();
+  ctx.stats().Add(Counter::kMessagesHandled);
+  ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                     CostModel::UsToNs(cfg_.costs.request_handle_us));
+  if (cfg_.delivery == DeliveryMode::kInterrupt) {
+    // In interrupt mode the request would have interrupted us.
+    ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                       CostModel::UsToNs(cfg_.costs.inter_node_interrupt_us));
+  }
+  const PageId page = request.page;
+  switch (request.kind) {
+    case Request::Kind::kPageFetch: {
+      // We are (a processor of) the page's home unit: write the master copy
+      // into the requester's page read buffer.
+      ReplySlot& slot = deps_.msg->SlotOf(request.from_proc);
+      deps_.hub->WriteStream(slot.data, MasterPtr(page), kWordsPerPage, Traffic::kPageData);
+      CSM_TRACE("[p%d] serve page=%u for p%d\n", ctx.proc(), page, request.from_proc);
+      deps_.msg->Complete(request.from_proc, request.seq, kReplyHasPage, ctx.clock().now());
+      return;
+    }
+    case Request::Kind::kBreakExclusive: {
+      UnitState& us = Unit(ctx.unit());
+      PageLocal& pl = us.Page(page);
+      SpinLockGuard guard(pl.lock);
+      if (!pl.exclusive) {
+        // Raced with another break or a voluntary exit: master is current.
+        deps_.msg->Complete(request.from_proc, request.seq, kReplyFetchHome,
+                            ctx.clock().now());
+        return;
+      }
+      pl.exclusive = false;
+      ctx.stats().Add(Counter::kExclTransitions);
+      CSM_TRACE("[p%d] break page=%u holder_proc=%d\n", ctx.proc(), page, pl.excl_proc);
+      std::byte* working = WorkingPtr(ctx.unit(), page);
+      if (!UnitAtMaster(ctx.unit(), page)) {
+        // Flush the entire page to the home node (Section 2.4.1).
+        deps_.hub->WriteStream(MasterPtr(page), working, kWordsPerPage, Traffic::kPageData);
+        pl.flush_ts.store(us.Tick(), std::memory_order_release);
+        ctx.stats().Add(Counter::kPageFlushes);
+        ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                           cfg_.costs.PageTransferNs(false, cfg_.two_level()));
+      }
+      // The exclusive holder processor is downgraded so its future writes
+      // fault; other local writers keep their mappings but are noted in
+      // their no-longer-exclusive lists so they flush (and send write
+      // notices) at their next release. At the master copy no twin is
+      // needed — writes land in the master directly — but the NLE entries
+      // still drive write-notice generation.
+      const int holder_li = pl.excl_proc - cfg_.FirstProcOfUnit(ctx.unit());
+      bool other_writers = false;
+      for (int li = 0; li < cfg_.procs_per_unit(); ++li) {
+        if (li != holder_li && pl.PermOfLocal(li) == Perm::kReadWrite) {
+          other_writers = true;
+        }
+      }
+      if (other_writers) {
+        if (!pl.twin_valid && !UnitAtMaster(ctx.unit(), page)) {
+          CopyPage(TwinPtr(ctx.unit(), page), working);
+          pl.twin_valid = true;
+          ctx.stats().Add(Counter::kTwinCreations);
+          if (!IsWriteDouble()) {
+            ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                               CostModel::UsToNs(cfg_.costs.twin_us));
+          }
+        }
+        for (int li = 0; li < cfg_.procs_per_unit(); ++li) {
+          if (li != holder_li && pl.PermOfLocal(li) == Perm::kReadWrite) {
+            us.NleList(li).Add(page);
+            pl.dirty_mask |= Bit(li);
+          }
+        }
+      }
+      if (holder_li >= 0 && holder_li < cfg_.procs_per_unit() &&
+          pl.PermOfLocal(holder_li) == Perm::kReadWrite) {
+        ProtectLocal(ctx, pl, ctx.unit(), holder_li, page, Perm::kRead);
+      }
+      RefreshLoosestPerm(ctx, pl, page);
+      // Piggyback the latest copy of the page to the requester.
+      ReplySlot& slot = deps_.msg->SlotOf(request.from_proc);
+      deps_.hub->WriteStream(slot.data, working, kWordsPerPage, Traffic::kPageData);
+      deps_.msg->Complete(request.from_proc, request.seq, kReplyHasPage, ctx.clock().now());
+      return;
+    }
+  }
+}
+
+std::uint64_t CashmereProtocol::AwaitReply(Context& ctx, std::uint64_t seq) {
+  ctx.SetDebugState(2, seq);
+  (void)0;
+  ReplySlot& slot = deps_.msg->SlotOf(ctx.proc());
+  Backoff backoff;
+  while (slot.done_seq.load(std::memory_order_acquire) < seq) {
+    // Service our own unit's incoming requests while waiting, as the
+    // paper's polling instrumentation does: this is what prevents two
+    // mutually-fetching nodes from deadlocking.
+    if (deps_.msg->HasPending(ctx.unit())) {
+      deps_.msg->Poll(ctx.unit());
+      backoff.Reset();
+    } else {
+      backoff.Pause();
+    }
+  }
+  ctx.SetDebugState(1, 0xffffffff);  // back in the fault path
+  return slot.responder_vt;
+}
+
+// ---------------------------------------------------------------------------
+// Fault handling (Section 2.4.1)
+
+bool CashmereProtocol::NeedFetch(const PageLocal& pl, UnitId unit, PageId page) const {
+  if (pl.exclusive) {
+    return false;  // we are the exclusive holder: the local copy is the copy
+  }
+  // Every fault consults the directory (Section 2.4.1): if another unit
+  // holds the page exclusively, its modifications are invisible (no write
+  // notices are generated in exclusive mode), so exclusivity must be broken
+  // before the access proceeds — even when a timestamp-valid local copy or
+  // the master frame is at hand. The holder-at-master case is the one
+  // exception for master-sharing units: they read the same frame.
+  const UnitId holder = deps_.dir->ExclusiveHolder(page);
+  if (holder >= 0 && holder != unit) {
+    if (!(UnitAtMaster(unit, page) && UnitAtMaster(holder, page))) {
+      return true;
+    }
+  }
+  if (UnitAtMaster(unit, page)) {
+    return false;  // we work directly on the (current) master copy
+  }
+  if (!pl.ever_valid) {
+    return true;
+  }
+  // "Page fetch requests can safely be eliminated if the page's last update
+  // timestamp is greater than the page's last write notice timestamp."
+  return pl.update_ts.load(std::memory_order_acquire) <=
+         pl.wn_ts.load(std::memory_order_acquire);
+}
+
+void CashmereProtocol::WaitFetchDone(Context& ctx, PageLocal& pl) {
+  ctx.SetDebugState(8, reinterpret_cast<std::uintptr_t>(&pl) & 0xffffffffu);
+  Backoff backoff;
+  while (pl.fetch_in_progress.load(std::memory_order_acquire)) {
+    if (deps_.msg->HasPending(ctx.unit())) {
+      deps_.msg->Poll(ctx.unit());
+      backoff.Reset();
+    } else {
+      backoff.Pause();
+    }
+  }
+}
+
+void CashmereProtocol::ApplyIncoming(Context& ctx, PageLocal& pl, PageId page,
+                                     const std::byte* image) {
+  std::byte* working = WorkingPtr(ctx.unit(), page);
+  if (pl.twin_valid) {
+    // Two-way diffing (Section 2.5): merge only the remote modifications so
+    // concurrent local writers are not disturbed — this replaces TLB
+    // shootdown. (2LS never reaches here with a twin: it shoots down and
+    // flushes before fetching.)
+    const std::size_t words = ApplyIncomingDiff(image, TwinPtr(ctx.unit(), page), working);
+    ctx.stats().Add(Counter::kIncomingDiffs);
+    ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol, cfg_.costs.DiffInNs(words));
+  } else {
+    CopyPage(working, image);
+  }
+}
+
+void CashmereProtocol::BreakRemoteExclusive(Context& ctx, PageLocal& pl, PageId page,
+                                            UnitId holder) {
+  // The update timestamp must not postdate any data the reply can contain:
+  // stamp it at request time, so a write notice distributed while the
+  // request is in flight still forces a refetch (update_ts <= wn_ts).
+  const std::uint64_t fetch_start_ts = Unit(ctx.unit()).Tick();
+  Request request;
+  request.kind = Request::Kind::kBreakExclusive;
+  request.page = page;
+  request.send_vt = ctx.clock().now();
+  ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                     CostModel::UsToNs(cfg_.costs.mc_write_latency_us));
+  const std::uint64_t seq = deps_.msg->Send(ctx.proc(), holder, request);
+  const VirtTime responder_vt = AwaitReply(ctx, seq);
+  ReplySlot& slot = deps_.msg->SlotOf(ctx.proc());
+  const VirtTime service = std::max(request.send_vt, responder_vt);
+  // The holder's break-time flush and the reply each cross the serial MC
+  // bus: latency bound under no contention, queuing bound under load.
+  VirtTime arrival = std::max(service + cfg_.costs.PageTransferNs(false, cfg_.two_level()),
+                              deps_.hub->ReserveBus(service, 2 * kPageBytes));
+  if (cfg_.delivery == DeliveryMode::kInterrupt) {
+    arrival += CostModel::UsToNs(cfg_.costs.inter_node_interrupt_us);
+  }
+  ctx.clock().AdvanceTo(ctx.stats(), arrival);
+  if ((slot.flags & kReplyHasPage) != 0) {
+    ctx.stats().Add(Counter::kPageTransfers);
+    if (!UnitAtMaster(ctx.unit(), page)) {
+      // Apply under the page lock: a concurrent local flush diffing
+      // working-vs-twin must not interleave with the incoming merge's
+      // working-then-twin writes, or it can push a stale word to the home.
+      SpinLockGuard guard(pl.lock);
+      ApplyIncoming(ctx, pl, page, slot.data);
+      pl.update_ts.store(fetch_start_ts, std::memory_order_release);
+      pl.ever_valid = true;
+    }
+    // At the master copy the holder's break-time flush already updated our
+    // frame; the piggybacked image is redundant.
+  }
+}
+
+void CashmereProtocol::FetchPage(Context& ctx, PageLocal& pl, PageId page) {
+  // Called with the page lock NOT held; fetch_in_progress is set so
+  // concurrent local faults coalesce onto this fetch.
+  const UnitId home = deps_.homes->HomeOfPage(page);
+
+  // 2LS: before fetching, shoot down concurrent local writers and flush,
+  // so the incoming image can simply overwrite the frame (Section 2.6).
+  if (IsShootdown()) {
+    SpinLockGuard guard(pl.lock);
+    if (pl.twin_valid) {
+      ShootdownLocalWriters(ctx, pl, page);
+    }
+  }
+
+  const UnitId holder = deps_.dir->ExclusiveHolder(page);
+  if (holder >= 0 && holder != ctx.unit()) {
+    BreakRemoteExclusive(ctx, pl, page, holder);
+    if (UnitAtMaster(ctx.unit(), page)) {
+      return;  // the holder's flush refreshed our (master) frame
+    }
+    if (pl.ever_valid &&
+        pl.update_ts.load(std::memory_order_acquire) >
+            pl.wn_ts.load(std::memory_order_acquire)) {
+      return;  // the piggybacked copy sufficed
+    }
+  }
+  if (UnitAtMaster(ctx.unit(), page)) {
+    return;  // exclusivity already cleared; the master frame is current
+  }
+
+  // As above: the image cannot contain data newer than the request time.
+  const std::uint64_t fetch_start_ts = Unit(ctx.unit()).Tick();
+  Request request;
+  request.kind = Request::Kind::kPageFetch;
+  request.page = page;
+  request.send_vt = ctx.clock().now();
+  ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                     CostModel::UsToNs(cfg_.costs.mc_write_latency_us));
+  const std::uint64_t seq = deps_.msg->Send(ctx.proc(), home, request);
+  const VirtTime responder_vt = AwaitReply(ctx, seq);
+  ReplySlot& slot = deps_.msg->SlotOf(ctx.proc());
+  const bool home_is_local_node =
+      cfg_.NodeOfProc(cfg_.FirstProcOfUnit(home)) == ctx.node();
+  const VirtTime service = std::max(request.send_vt, responder_vt);
+  // Latency bound under no contention; serial-bus occupancy under load
+  // ("MC is a bus", Section 3.3.3 — this is what penalizes protocols that
+  // move more data).
+  VirtTime arrival =
+      std::max(service + cfg_.costs.PageTransferNs(home_is_local_node, cfg_.two_level()),
+               deps_.hub->ReserveBus(service, kPageBytes));
+  if (cfg_.delivery == DeliveryMode::kInterrupt) {
+    arrival += CostModel::UsToNs(cfg_.costs.inter_node_interrupt_us);
+  }
+  ctx.clock().AdvanceTo(ctx.stats(), arrival);
+  ctx.stats().Add(Counter::kPageTransfers);
+  CSM_TRACE("[p%d] fetched page=%u from home start_ts=%llu\n", ctx.proc(), page,
+            (unsigned long long)fetch_start_ts);
+  {
+    // Serialize the merge against concurrent local flushes (see above).
+    SpinLockGuard guard(pl.lock);
+    ApplyIncoming(ctx, pl, page, slot.data);
+    pl.update_ts.store(fetch_start_ts, std::memory_order_release);
+    pl.ever_valid = true;
+  }
+}
+
+void CashmereProtocol::EnsureTwin(Context& ctx, PageLocal& pl, PageId page) {
+  if (UnitAtMaster(ctx.unit(), page) || pl.twin_valid) {
+    return;
+  }
+  CopyPage(TwinPtr(ctx.unit(), page), WorkingPtr(ctx.unit(), page));
+  pl.twin_valid = true;
+  ctx.stats().Add(Counter::kTwinCreations);
+  if (!IsWriteDouble()) {
+    // Cashmere-1L has no twins on the real system (write-through); the twin
+    // here is only the emulation's mechanism for finding doubled words, so
+    // its cost is not charged.
+    ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                       CostModel::UsToNs(cfg_.costs.twin_us));
+  }
+}
+
+void CashmereProtocol::ShootdownLocalWriters(Context& ctx, PageLocal& pl, PageId page) {
+  // Called with the page lock held (2LS only): revoke every local write
+  // mapping, flush outstanding changes to the home node, discard the twin.
+  UnitState& us = Unit(ctx.unit());
+  int victims = 0;
+  for (int li = 0; li < cfg_.procs_per_unit(); ++li) {
+    if (pl.PermOfLocal(li) == Perm::kReadWrite) {
+      if (GlobalProc(ctx.unit(), li) != ctx.proc()) {
+        ++victims;
+      }
+      ProtectLocal(ctx, pl, ctx.unit(), li, page, Perm::kRead);
+    }
+  }
+  if (victims > 0) {
+    ctx.stats().Add(Counter::kShootdowns, static_cast<std::uint64_t>(victims));
+    const double per_victim = cfg_.delivery == DeliveryMode::kInterrupt
+                                  ? cfg_.costs.shootdown_interrupt_us
+                                  : cfg_.costs.shootdown_poll_us;
+    ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                       CostModel::UsToNs(per_victim * victims));
+  }
+  if (pl.twin_valid && !UnitAtMaster(ctx.unit(), page)) {
+    std::byte* working = WorkingPtr(ctx.unit(), page);
+    const std::size_t words =
+        ApplyOutgoingDiff(working, TwinPtr(ctx.unit(), page), MasterPtr(page), false);
+    deps_.hub->AccountWrite(Traffic::kDiffData, words * kWordBytes);
+    deps_.hub->ReserveBus(ctx.clock().now(), words * kWordBytes);
+    pl.flush_ts.store(us.Tick(), std::memory_order_release);
+    ctx.stats().Add(Counter::kPageFlushes);
+    const bool home_local =
+        cfg_.NodeOfProc(cfg_.FirstProcOfUnit(deps_.homes->HomeOfPage(page))) == ctx.node();
+    ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                       cfg_.costs.DiffOutNs(words, home_local));
+    SendWriteNotices(ctx, page);
+  }
+  pl.twin_valid = false;
+  pl.dirty_mask = 0;
+}
+
+void CashmereProtocol::EnterExclusiveOrShare(Context& ctx, PageLocal& pl, PageId page) {
+  // Called with the page lock held, on a write fault, after the local copy
+  // is valid. Decides between exclusive mode and the shared write path.
+  UnitState& us = Unit(ctx.unit());
+  const int li = ctx.local_index();
+  if (pl.exclusive) {
+    return;  // unit already exclusive; the new writer just joins
+  }
+  if (!deps_.dir->AnyOtherSharer(page, ctx.unit())) {
+    // Claim exclusive mode through the ordered directory broadcast: if two
+    // units claim concurrently, the one ordered second sees the first and
+    // withdraws (MC's total write ordering resolves the race).
+    DirWord claim;
+    claim.perm = Perm::kReadWrite;
+    claim.exclusive = true;
+    claim.excl_proc = ctx.proc();
+    std::uint32_t snapshot[kMaxProcs];
+    deps_.dir->WriteAndSnapshot(page, ctx.unit(), claim, snapshot);
+    ctx.stats().Add(Counter::kDirectoryUpdates);
+    ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                       CostModel::UsToNs(cfg_.costs.dir_update_us));
+    bool conflict = false;
+    for (int u = 0; u < cfg_.units(); ++u) {
+      if (u == ctx.unit()) {
+        continue;
+      }
+      const DirWord w = DirWord::Unpack(snapshot[u]);
+      if (w.perm != Perm::kInvalid || w.exclusive) {
+        conflict = true;
+        break;
+      }
+    }
+    if (!conflict) {
+      pl.exclusive = true;
+      pl.excl_proc = ctx.proc();
+      CSM_TRACE("[p%d] claim-exclusive page=%u\n", ctx.proc(), page);
+      ctx.stats().Add(Counter::kExclTransitions);
+      // Exclusive pages have no twin, never enter dirty lists, and generate
+      // no write notices or flushes (Section 2.4.1).
+      return;
+    }
+    // Withdraw the claim and fall through to the shared path.
+    DirWord shared = claim;
+    shared.exclusive = false;
+    UpdateDirWord(ctx, page, shared);
+  }
+  EnsureTwin(ctx, pl, page);
+  if (us.DirtyList(li).Add(page)) {
+    pl.dirty_mask |= Bit(li);
+  }
+}
+
+void CashmereProtocol::OnFault(Context& ctx, PageId page, bool is_write) {
+  ProtocolScope scope(ctx);
+  ctx.SetDebugState(1, page);
+  CSM_TRACE("[p%d] fault page=%u w=%d\n", ctx.proc(), page, is_write);
+  ctx.stats().Add(is_write ? Counter::kWriteFaults : Counter::kReadFaults);
+  ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                     CostModel::UsToNs(cfg_.costs.page_fault_us));
+  MaybeFirstTouch(ctx, page);
+
+  UnitState& us = Unit(ctx.unit());
+  PageLocal& pl = us.Page(page);
+  const int li = ctx.local_index();
+
+  while (true) {
+    pl.lock.Lock();
+    if (pl.fetch_in_progress.load(std::memory_order_acquire)) {
+      pl.lock.Unlock();
+      WaitFetchDone(ctx, pl);  // intra-node fetch coalescing
+      continue;
+    }
+    if (NeedFetch(pl, ctx.unit(), page)) {
+      pl.fetch_in_progress.store(true, std::memory_order_release);
+      // Join the sharing set *before* fetching (Section 2.4.1 does the
+      // directory update first): a release overlapping this fetch must
+      // either be visible in the fetched image or send us a write notice.
+      RefreshLoosestPerm(ctx, pl, page);
+      pl.lock.Unlock();
+      FetchPage(ctx, pl, page);
+      ctx.SetDebugState(9, page);
+      pl.lock.Lock();
+      pl.fetch_in_progress.store(false, std::memory_order_release);
+      // Re-check before installing a mapping: write notices distributed
+      // while the fetch was in flight (update_ts <= wn_ts) mean the image
+      // may predate those flushes, and no notice targets us yet — fetch
+      // again rather than map a possibly stale copy.
+      pl.lock.Unlock();
+      continue;
+    }
+    break;
+  }
+  // Page lock held; local copy valid (or we are at the master copy).
+  if (is_write) {
+    EnterExclusiveOrShare(ctx, pl, page);
+    ProtectLocal(ctx, pl, ctx.unit(), li, page, Perm::kReadWrite);
+  } else {
+    if (pl.PermOfLocal(li) == Perm::kInvalid) {
+      ProtectLocal(ctx, pl, ctx.unit(), li, page, Perm::kRead);
+    }
+  }
+  RefreshLoosestPerm(ctx, pl, page);
+  pl.lock.Unlock();
+  ctx.SetDebugState(0, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Releases (Section 2.4.3)
+
+void CashmereProtocol::SendWriteNotices(Context& ctx, PageId page) {
+  UnitId sharers[kMaxProcs];
+  const int n = deps_.dir->Sharers(page, ctx.unit(), sharers);
+  int sent = 0;
+  for (int i = 0; i < n; ++i) {
+    const UnitId u = sharers[i];
+    if (UnitAtMaster(u, page)) {
+      continue;  // home (and master-sharing) units see flushes directly
+    }
+    if (IsGlobalLock()) {
+      ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                         CostModel::UsToNs(cfg_.costs.dir_lock_us));
+    }
+    deps_.notices->PostGlobal(u, ctx.unit(), page);
+    CSM_TRACE("[p%d] WN post page=%u dst=%d\n", ctx.proc(), page, u);
+    ++sent;
+  }
+  if (sent > 0) {
+    ctx.stats().Add(Counter::kWriteNotices, static_cast<std::uint64_t>(sent));
+    ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                       CostModel::UsToNs(cfg_.costs.mc_write_latency_us));
+  }
+}
+
+void CashmereProtocol::FlushPage(Context& ctx, PageLocal& pl, PageId page,
+                                 std::uint64_t release_start, bool barrier_arrival) {
+  UnitState& us = Unit(ctx.unit());
+  const int li = ctx.local_index();
+  SpinLockGuard guard(pl.lock);
+
+  if (pl.exclusive) {
+    // The page re-entered exclusive mode after the NLE notice; exclusive
+    // pages incur no flush.
+    pl.dirty_mask &= static_cast<std::uint8_t>(~Bit(li));
+    return;
+  }
+
+  // Skip rule: if a flush of this page began after this release began, that
+  // flush already covered our modifications (a diff covers the whole page).
+  if (pl.flush_ts.load(std::memory_order_acquire) > release_start) {
+    pl.dirty_mask &= static_cast<std::uint8_t>(~Bit(li));
+    if (pl.PermOfLocal(li) == Perm::kReadWrite) {
+      ProtectLocal(ctx, pl, ctx.unit(), li, page, Perm::kRead);
+    }
+    RefreshLoosestPerm(ctx, pl, page);
+    return;
+  }
+
+  if (barrier_arrival) {
+    // "Each processor, as it arrives, performs page flushes for those pages
+    // for which it is the last arriving local writer" — if another local
+    // writer has not arrived yet, leave the flush to them.
+    const std::uint32_t arrived = us.barrier_arrived_mask().load(std::memory_order_acquire);
+    for (int other = 0; other < cfg_.procs_per_unit(); ++other) {
+      if (other == li) {
+        continue;
+      }
+      if ((pl.dirty_mask & Bit(other)) != 0 && (arrived & (1u << other)) == 0) {
+        pl.dirty_mask &= static_cast<std::uint8_t>(~Bit(li));
+        if (pl.PermOfLocal(li) == Perm::kReadWrite) {
+          ProtectLocal(ctx, pl, ctx.unit(), li, page, Perm::kRead);
+        }
+        return;
+      }
+    }
+  }
+
+  pl.flush_ts.store(us.Tick(), std::memory_order_release);
+  CSM_TRACE("[p%d] flush page=%u atmaster=%d\n", ctx.proc(), page,
+            (int)UnitAtMaster(ctx.unit(), page));
+
+  if (!UnitAtMaster(ctx.unit(), page) && pl.twin_valid) {
+    std::byte* working = WorkingPtr(ctx.unit(), page);
+    if (IsShootdown()) {
+      ShootdownLocalWriters(ctx, pl, page);  // flushes + discards the twin
+    } else {
+      // Flush-update: write local modifications to both the home node and
+      // the twin, so overlapping releases skip redundant work (Section 2.5).
+      const std::size_t words =
+          ApplyOutgoingDiff(working, TwinPtr(ctx.unit(), page), MasterPtr(page), true);
+      deps_.hub->AccountWrite(Traffic::kDiffData, words * kWordBytes);
+      // The flusher is write-buffered and does not stall, but the diff
+      // occupies the serial MC: later transfers queue behind it.
+      deps_.hub->ReserveBus(ctx.clock().now(), words * kWordBytes);
+      ctx.stats().Add(Counter::kPageFlushes);
+      ctx.stats().Add(Counter::kFlushUpdates);
+      const bool home_local =
+          cfg_.NodeOfProc(cfg_.FirstProcOfUnit(deps_.homes->HomeOfPage(page))) == ctx.node();
+      if (IsWriteDouble()) {
+        // Cashmere-1L: modifications were (conceptually) written through as
+        // they happened; charge the per-word doubling cost instead of the
+        // diff cost.
+        const double per_word = home_local ? cfg_.costs.write_double_word_home_us
+                                           : cfg_.costs.write_double_word_us;
+        ctx.clock().Charge(ctx.stats(), TimeCategory::kWriteDoubling,
+                           CostModel::UsToNs(per_word * static_cast<double>(words)));
+      } else {
+        ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                           cfg_.costs.DiffOutNs(words, home_local));
+      }
+    }
+  }
+
+  SendWriteNotices(ctx, page);
+  pl.dirty_mask = 0;
+  if (pl.PermOfLocal(li) == Perm::kReadWrite) {
+    ProtectLocal(ctx, pl, ctx.unit(), li, page, Perm::kRead);
+  }
+  if (!IsShootdown() && pl.twin_valid && pl.WriterCount(cfg_.procs_per_unit()) == 0) {
+    pl.twin_valid = false;  // no writers left: the twin is no longer needed
+  }
+  RefreshLoosestPerm(ctx, pl, page);
+}
+
+void CashmereProtocol::ReleaseSync(Context& ctx, bool barrier_arrival) {
+  ProtocolScope scope(ctx);
+  UnitState& us = Unit(ctx.unit());
+  const int li = ctx.local_index();
+  const std::uint64_t release_start = us.Tick();
+  us.last_release_time().store(release_start, std::memory_order_release);
+
+  std::vector<PageId> pages;
+  us.DirtyList(li).TakeAll(pages);
+  us.NleList(li).TakeAll(pages);
+  for (const PageId page : pages) {
+    FlushPage(ctx, us.Page(page), page, release_start, barrier_arrival);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Acquires (Section 2.4.2)
+
+void CashmereProtocol::AcquireSync(Context& ctx) {
+  ProtocolScope scope(ctx);
+  const std::uint64_t prev_state = ctx.debug_state();
+  ctx.SetDebugState(7, 0);
+  UnitState& us = Unit(ctx.unit());
+  us.Tick();
+
+  // Distribute global write notices to the per-processor lists of local
+  // processors with mappings, stamping the page's write-notice time.
+  // The drain-and-distribute is serialized per unit: otherwise a processor
+  // could find the bins empty while a concurrent local drainer has not yet
+  // posted to the per-processor lists, and would acquire without the
+  // invalidations it needs.
+  if (IsGlobalLock()) {
+    ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                       CostModel::UsToNs(cfg_.costs.dir_lock_us));
+  }
+  {
+    SpinLockGuard acquire_guard(us.acquire_lock());
+    deps_.notices->DrainGlobal(ctx.unit(), [&](PageId page) {
+      PageLocal& pl = us.Page(page);
+      SpinLockGuard guard(pl.lock);
+      pl.wn_ts.store(us.Now(), std::memory_order_release);
+      CSM_TRACE("[p%d] WN drain page=%u wn_ts=%llu\n", ctx.proc(), page,
+                (unsigned long long)us.Now());
+      for (int li = 0; li < cfg_.procs_per_unit(); ++li) {
+        if (pl.PermOfLocal(li) != Perm::kInvalid) {
+          deps_.notices->PostLocal(GlobalProc(ctx.unit(), li), page);
+        }
+      }
+    });
+  }
+
+  ctx.SetDebugState(7, 1);  // past the global drain
+  // Process this processor's own list: invalidate pages whose last update
+  // precedes their last write notice.
+  deps_.notices->DrainLocal(ctx.proc(), [&](PageId page) {
+    PageLocal& pl = us.Page(page);
+    SpinLockGuard guard(pl.lock);
+    if (UnitAtMaster(ctx.unit(), page)) {
+      return;  // the master copy is always current
+    }
+    CSM_TRACE("[p%d] WN local page=%u upd=%llu wn=%llu inval=%d\n", ctx.proc(), page,
+              (unsigned long long)pl.update_ts.load(), (unsigned long long)pl.wn_ts.load(),
+              pl.update_ts.load() <= pl.wn_ts.load());
+    if (pl.update_ts.load(std::memory_order_acquire) >
+        pl.wn_ts.load(std::memory_order_acquire)) {
+      return;  // already updated since the notice
+    }
+    if (pl.PermOfLocal(ctx.local_index()) != Perm::kInvalid) {
+      ProtectLocal(ctx, pl, ctx.unit(), ctx.local_index(), page, Perm::kInvalid);
+      RefreshLoosestPerm(ctx, pl, page);
+    }
+  });
+  ctx.SetDebugState(static_cast<int>(prev_state >> 56), prev_state & 0xffffffffull);
+}
+
+// ---------------------------------------------------------------------------
+// Barrier bookkeeping
+
+void CashmereProtocol::BarrierArriveBegin(Context& ctx) {
+  Unit(ctx.unit())
+      .barrier_arrived_mask()
+      .fetch_or(1u << ctx.local_index(), std::memory_order_acq_rel);
+}
+
+void CashmereProtocol::BarrierDepartEnd(Context& ctx) {
+  Unit(ctx.unit())
+      .barrier_arrived_mask()
+      .fetch_and(~(1u << ctx.local_index()), std::memory_order_acq_rel);
+}
+
+void CashmereProtocol::FinalFlush(Context& ctx) {
+  UnitState& us = Unit(ctx.unit());
+  for (PageId page = 0; page < cfg_.pages(); ++page) {
+    PageLocal& pl = us.Page(page);
+    SpinLockGuard guard(pl.lock);
+    if (UnitAtMaster(ctx.unit(), page)) {
+      continue;
+    }
+    if (pl.exclusive) {
+      CopyPage(MasterPtr(page), WorkingPtr(ctx.unit(), page));
+      pl.exclusive = false;
+    } else if (pl.twin_valid) {
+      ApplyOutgoingDiff(WorkingPtr(ctx.unit(), page), TwinPtr(ctx.unit(), page),
+                        MasterPtr(page), true);
+    }
+    pl.dirty_mask = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// First touch (Section 2.3)
+
+void CashmereProtocol::MaybeFirstTouch(Context& ctx, PageId page) {
+  if (!cfg_.first_touch || !deps_.homes->FirstTouchEnabled()) {
+    return;
+  }
+  const std::size_t sp = deps_.homes->SuperpageOf(page);
+  if (!deps_.homes->IsDefault(sp)) {
+    return;
+  }
+  // "To relocate a page a processor must acquire a global lock"; ordinary
+  // page operations skip it because they always follow the unit's first
+  // access. The lock cost is the directory-entry lock cost from Section 3.1.
+  ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                     CostModel::UsToNs(cfg_.costs.dir_lock_us));
+  SpinLock& lock = deps_.homes->GlobalLock();
+  Backoff backoff;
+  while (!lock.TryLock()) {
+    // Keep servicing requests: other units may need this unit's pages
+    // while we wait for home selection.
+    if (deps_.msg->HasPending(ctx.unit())) {
+      deps_.msg->Poll(ctx.unit());
+    }
+    backoff.Pause();
+  }
+  if (!deps_.homes->IsDefault(sp)) {
+    lock.Unlock();
+    return;  // someone else won the race
+  }
+  if (deps_.homes->HomeOfSuperpage(sp) != ctx.unit()) {
+    // Relocation copies the master frames, so it is only safe when every
+    // master copy is current. A page held in exclusive mode elsewhere has
+    // an out-of-date master (the holder flushes only when broken), so the
+    // superpage keeps its round-robin home.
+    bool any_exclusive = false;
+    const PageId first = static_cast<PageId>(sp * deps_.homes->superpage_pages());
+    const PageId last = static_cast<PageId>(
+        std::min<std::size_t>((sp + 1) * deps_.homes->superpage_pages(), cfg_.pages()));
+    for (PageId page = first; page < last && !any_exclusive; ++page) {
+      any_exclusive = deps_.dir->ExclusiveHolder(page) >= 0;
+    }
+    if (!any_exclusive) {
+      RelocateSuperpage(ctx, sp, ctx.unit());
+      lock.Unlock();
+      return;
+    }
+  }
+  deps_.homes->SealDefault(sp);
+  lock.Unlock();
+}
+
+void CashmereProtocol::RelocateSuperpage(Context& ctx, std::size_t sp, UnitId new_home) {
+  const UnitId old_home = deps_.homes->HomeOfSuperpage(sp);
+  UnitState& old_us = Unit(old_home);
+  UnitState& new_us = Unit(new_home);
+  const PageId first = static_cast<PageId>(sp * deps_.homes->superpage_pages());
+  const PageId last = static_cast<PageId>(
+      std::min<std::size_t>((sp + 1) * deps_.homes->superpage_pages(), cfg_.pages()));
+
+  for (PageId page = first; page < last; ++page) {
+    PageLocal& opl = old_us.Page(page);
+    SpinLockGuard old_guard(opl.lock);
+    // Quiesce the old home: downgrade its writers so future modifications
+    // are tracked like any non-home unit's.
+    for (int li = 0; li < cfg_.procs_per_unit(); ++li) {
+      if (opl.PermOfLocal(li) == Perm::kReadWrite) {
+        ProtectLocal(ctx, opl, old_home, li, page, Perm::kRead);
+      }
+    }
+    opl.exclusive = false;
+    opl.twin_valid = false;
+    opl.dirty_mask = 0;
+
+    PageLocal& npl = new_us.Page(page);
+    SpinLockGuard new_guard(npl.lock);
+    // Move the master copy.
+    std::byte* old_master =
+        (*deps_.arenas)[static_cast<std::size_t>(old_home)]->PagePtr(page);
+    std::byte* new_master =
+        (*deps_.arenas)[static_cast<std::size_t>(new_home)]->PagePtr(page);
+    CopyPage(new_master, old_master);
+    deps_.hub->AccountWrite(Traffic::kPageData, kPageBytes);
+    npl.twin_valid = false;
+    npl.ever_valid = true;
+    npl.update_ts.store(new_us.Tick(), std::memory_order_release);
+    // The old home's frame still holds the current data.
+    opl.ever_valid = true;
+    opl.update_ts.store(old_us.Tick(), std::memory_order_release);
+    ctx.stats().Add(Counter::kHomeRelocations);
+  }
+  deps_.homes->Relocate(sp, new_home);
+  ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                     cfg_.costs.PageTransferNs(false, cfg_.two_level()) *
+                         static_cast<std::uint64_t>(last - first));
+
+  // Home-node optimization: remap views whose master-sharing status for
+  // this superpage changed.
+  if (cfg_.home_opt && !cfg_.two_level()) {
+    for (ProcId p = 0; p < cfg_.total_procs(); ++p) {
+      const UnitId pu = cfg_.UnitOfProc(p);
+      const bool now_master = UnitAtMaster(pu, first);
+      const Arena& desired = now_master
+                                 ? *(*deps_.arenas)[static_cast<std::size_t>(new_home)]
+                                 : *(*deps_.arenas)[static_cast<std::size_t>(pu)];
+      if (cfg_.fault_mode == FaultMode::kSigsegv) {
+        ViewOf(p).RemapSuperpage(sp, desired);
+      }
+      UnitState& pus = Unit(pu);
+      for (PageId page = first; page < last; ++page) {
+        PageLocal& pl = pus.Page(page);
+        SpinLockGuard guard(pl.lock);
+        pl.SetPermOfLocal(p - cfg_.FirstProcOfUnit(pu), Perm::kInvalid);
+      }
+    }
+  }
+}
+
+}  // namespace cashmere

@@ -1,0 +1,168 @@
+// The Cashmere protocol family (Section 2).
+//
+// One implementation covers the paper's five protocols; they differ only in
+// unit topology and a few strategy points:
+//
+//   Cashmere-2L   units = SMP nodes; two-way diffing; lock-free directory
+//                 and write-notice structures.
+//   Cashmere-2LS  like 2L, but page updates and releases shoot down all
+//                 concurrent local write mappings (flush + discard twin)
+//                 instead of merging with incoming diffs.
+//   2L-globallock Section 3.3.5 ablation: directory entries and write
+//                 notice lists guarded by cluster-wide locks.
+//   Cashmere-1LD  units = individual processors; twins + outgoing diffs.
+//   Cashmere-1L   like 1LD, but modifications are costed as write-through
+//                 ("write doubling") rather than release-time diffs.
+//
+// The one-level protocols can additionally run with the home-node
+// optimization: processors on the home processor's SMP node work directly
+// on the master copy and skip twins/invalidations for those pages.
+//
+// Concurrency discipline (see DESIGN.md):
+//   - Per-page-per-unit state is guarded by PageLocal::lock; no code ever
+//     waits (polls) while holding a page lock. Fetches mark the page
+//     "fetch in progress", drop the lock, and wait; concurrent local
+//     faults on the same page wait for the fetch and reuse the new copy,
+//     which is exactly the paper's intra-node fetch coalescing.
+//   - Exclusive-mode claims are resolved through the directory's ordered
+//     broadcast (MC total ordering): a claimant re-reads the directory
+//     inside the order and withdraws if another unit is visible.
+#ifndef CASHMERE_PROTOCOL_CASHMERE_PROTOCOL_HPP_
+#define CASHMERE_PROTOCOL_CASHMERE_PROTOCOL_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "cashmere/common/config.hpp"
+#include "cashmere/common/types.hpp"
+#include "cashmere/mc/hub.hpp"
+#include "cashmere/msg/message_layer.hpp"
+#include "cashmere/protocol/directory.hpp"
+#include "cashmere/protocol/home_table.hpp"
+#include "cashmere/protocol/page_table.hpp"
+#include "cashmere/protocol/twin_pool.hpp"
+#include "cashmere/protocol/write_notice.hpp"
+#include "cashmere/runtime/context.hpp"
+#include "cashmere/vm/arena.hpp"
+#include "cashmere/vm/view.hpp"
+
+namespace cashmere {
+
+class CashmereProtocol : public RequestHandler {
+ public:
+  struct Deps {
+    const Config* cfg = nullptr;
+    McHub* hub = nullptr;
+    MessageLayer* msg = nullptr;
+    GlobalDirectory* dir = nullptr;
+    HomeTable* homes = nullptr;
+    WriteNoticeBoard* notices = nullptr;
+    std::vector<std::unique_ptr<Arena>>* arenas = nullptr;     // per unit
+    std::vector<std::unique_ptr<View>>* views = nullptr;       // per processor
+    std::vector<std::unique_ptr<TwinPool>>* twins = nullptr;   // per unit
+    std::vector<std::unique_ptr<UnitState>>* units = nullptr;  // per unit
+  };
+
+  explicit CashmereProtocol(Deps deps);
+
+  // --- Entry points -----------------------------------------------------
+  // Page fault by ctx's processor (from SIGSEGV or the software driver).
+  void OnFault(Context& ctx, PageId page, bool is_write);
+
+  // Consistency actions at a lock acquire / flag read / barrier departure.
+  void AcquireSync(Context& ctx);
+  // Consistency actions before a lock release / flag set / barrier
+  // arrival. `barrier_arrival` enables the last-local-writer flush rule.
+  void ReleaseSync(Context& ctx, bool barrier_arrival);
+
+  // Barrier-episode bookkeeping (arrival mask for the flush rule).
+  void BarrierArriveBegin(Context& ctx);
+  void BarrierDepartEnd(Context& ctx);
+
+  // Explicit requests from remote units (executed on a polling processor).
+  void HandleRequest(const Request& request) override;
+
+  // Poll for and service pending requests (Figure 5's poll sequence).
+  void Poll(Context& ctx);
+
+  // End-of-run quiesce: flushes exclusive-mode pages and any remaining
+  // dirty pages of the calling processor's unit to the master copies so
+  // results can be read out. Called once per unit after a full barrier.
+  void FinalFlush(Context& ctx);
+
+  // --- Introspection (tests) ---------------------------------------------
+  PageLocal& PageState(UnitId unit, PageId page) { return Unit(unit).Page(page); }
+  UnitState& Unit(UnitId unit) { return *(*deps_.units)[static_cast<std::size_t>(unit)]; }
+  bool UnitAtMaster(UnitId unit, PageId page) const;
+  std::byte* MasterPtr(PageId page) const;
+  std::byte* WorkingPtr(UnitId unit, PageId page) const;
+
+ private:
+  // Fault machinery.
+  bool NeedFetch(const PageLocal& pl, UnitId unit, PageId page) const;
+  void FetchPage(Context& ctx, PageLocal& pl, PageId page);
+  void ApplyIncoming(Context& ctx, PageLocal& pl, PageId page, const std::byte* image);
+  void BreakRemoteExclusive(Context& ctx, PageLocal& pl, PageId page, UnitId holder);
+  void WaitFetchDone(Context& ctx, PageLocal& pl);
+  std::uint64_t AwaitReply(Context& ctx, std::uint64_t seq);
+
+  // Write-fault helpers (page lock held).
+  void EnterExclusiveOrShare(Context& ctx, PageLocal& pl, PageId page);
+  void EnsureTwin(Context& ctx, PageLocal& pl, PageId page);
+  void ShootdownLocalWriters(Context& ctx, PageLocal& pl, PageId page);
+
+  // Release machinery.
+  void FlushPage(Context& ctx, PageLocal& pl, PageId page, std::uint64_t release_start,
+                 bool barrier_arrival);
+  void SendWriteNotices(Context& ctx, PageId page);
+
+  // Directory helpers (charge costs, honour the global-lock ablation).
+  void UpdateDirWord(Context& ctx, PageId page, DirWord word);
+  void RefreshLoosestPerm(Context& ctx, PageLocal& pl, PageId page);
+
+  // First touch (Section 2.3, "Home node selection").
+  void MaybeFirstTouch(Context& ctx, PageId page);
+  void RelocateSuperpage(Context& ctx, std::size_t superpage, UnitId new_home);
+
+  // Topology helpers.
+  View& ViewOf(ProcId proc) { return *(*deps_.views)[static_cast<std::size_t>(proc)]; }
+  std::byte* TwinPtr(UnitId unit, PageId page) const {
+    return (*deps_.twins)[static_cast<std::size_t>(unit)]->TwinPtr(page);
+  }
+  ProcId GlobalProc(UnitId unit, int local_index) const {
+    return cfg_.FirstProcOfUnit(unit) + local_index;
+  }
+  void ProtectLocal(Context& ctx, PageLocal& pl, UnitId unit, int local_index, PageId page,
+                    Perm perm);
+  bool IsWriteDouble() const {
+    return cfg_.protocol == ProtocolVariant::kOneLevelWriteDouble;
+  }
+  bool IsShootdown() const {
+    return cfg_.protocol == ProtocolVariant::kTwoLevelShootdown;
+  }
+  bool IsGlobalLock() const {
+    return cfg_.protocol == ProtocolVariant::kTwoLevelGlobalLock;
+  }
+
+  Deps deps_;
+  const Config& cfg_;
+};
+
+// RAII protocol-section guard: converts elapsed CPU time into user virtual
+// time on entry and restarts the user-time clock on exit.
+class ProtocolScope {
+ public:
+  explicit ProtocolScope(Context& ctx) : ctx_(ctx) {
+    ctx_.clock().EnterProtocol(ctx_.stats());
+  }
+  ~ProtocolScope() { ctx_.clock().ExitProtocol(); }
+  ProtocolScope(const ProtocolScope&) = delete;
+  ProtocolScope& operator=(const ProtocolScope&) = delete;
+
+ private:
+  Context& ctx_;
+};
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_PROTOCOL_CASHMERE_PROTOCOL_HPP_

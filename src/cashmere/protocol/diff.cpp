@@ -1,0 +1,67 @@
+#include "cashmere/protocol/diff.hpp"
+
+#include <atomic>
+
+#include "cashmere/mc/hub.hpp"
+
+namespace cashmere {
+
+namespace {
+
+inline std::uint32_t LoadRelaxed(const std::byte* p, std::size_t i) {
+  return reinterpret_cast<const std::atomic<std::uint32_t>*>(p)[i].load(
+      std::memory_order_relaxed);
+}
+
+inline void StoreRelaxed(std::byte* p, std::size_t i, std::uint32_t v) {
+  reinterpret_cast<std::atomic<std::uint32_t>*>(p)[i].store(v, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::size_t ApplyOutgoingDiff(const std::byte* working, std::byte* twin, std::byte* master,
+                              bool flush_update) {
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < kWordsPerPage; ++i) {
+    const std::uint32_t w = LoadRelaxed(working, i);
+    const std::uint32_t t = LoadRelaxed(twin, i);
+    if (w != t) {
+      StoreRelaxed(master, i, w);
+      if (flush_update) {
+        StoreRelaxed(twin, i, w);
+      }
+      ++changed;
+    }
+  }
+  std::atomic_thread_fence(std::memory_order_release);
+  return changed;
+}
+
+std::size_t ApplyIncomingDiff(const std::byte* incoming, std::byte* twin, std::byte* working) {
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < kWordsPerPage; ++i) {
+    const std::uint32_t in = LoadRelaxed(incoming, i);
+    const std::uint32_t t = LoadRelaxed(twin, i);
+    if (in != t) {
+      StoreRelaxed(working, i, in);
+      StoreRelaxed(twin, i, in);
+      ++changed;
+    }
+  }
+  std::atomic_thread_fence(std::memory_order_release);
+  return changed;
+}
+
+void CopyPage(std::byte* dst, const std::byte* src) { CopyWords32(dst, src, kWordsPerPage); }
+
+std::size_t CountDiffWords(const std::byte* a, const std::byte* b) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < kWordsPerPage; ++i) {
+    if (LoadRelaxed(a, i) != LoadRelaxed(b, i)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace cashmere

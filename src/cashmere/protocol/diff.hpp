@@ -1,0 +1,40 @@
+// Diff engine (Sections 2.2 and 2.5): outgoing diffs propagate local
+// modifications to the home node; incoming diffs merge remote modifications
+// into the local copy without disturbing concurrent local writers — the
+// paper's "two-way diffing", which replaces intra-node TLB shootdown.
+//
+// All comparisons and stores are 32-bit atomic, matching the Memory
+// Channel's write grain: data-race-free programs never race on a word, so
+// word-level merging is exact.
+#ifndef CASHMERE_PROTOCOL_DIFF_HPP_
+#define CASHMERE_PROTOCOL_DIFF_HPP_
+
+#include <cstddef>
+
+#include "cashmere/common/types.hpp"
+
+namespace cashmere {
+
+// Outgoing diff: for every word where `working` differs from `twin`, write
+// the working word to `master`. With `flush_update` the twin is updated
+// too ("flush-update", Section 2.5), so later releases on this unit see
+// these modifications as already flushed. Returns the number of words
+// written.
+std::size_t ApplyOutgoingDiff(const std::byte* working, std::byte* twin, std::byte* master,
+                              bool flush_update);
+
+// Incoming diff: for every word where `incoming` differs from `twin`,
+// write the incoming word to both `working` and `twin`. Because programs
+// are data-race-free, those words are exactly the remote modifications and
+// never overlap concurrent local writes. Returns words applied.
+std::size_t ApplyIncomingDiff(const std::byte* incoming, std::byte* twin, std::byte* working);
+
+// Full page copy (used when no local writer exists). Word-atomic.
+void CopyPage(std::byte* dst, const std::byte* src);
+
+// Number of words differing between two page images (no writes).
+std::size_t CountDiffWords(const std::byte* a, const std::byte* b);
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_PROTOCOL_DIFF_HPP_

@@ -1,0 +1,15 @@
+#include "cashmere/protocol/home_table.hpp"
+
+namespace cashmere {
+
+HomeTable::HomeTable(const Config& cfg)
+    : superpage_pages_(cfg.superpage_pages), entries_(cfg.superpages()) {
+  // Round-robin initial assignment across units.
+  const int units = cfg.units();
+  for (std::size_t sp = 0; sp < entries_.size(); ++sp) {
+    entries_[sp].home.store(static_cast<UnitId>(sp % static_cast<std::size_t>(units)),
+                            std::memory_order_relaxed);
+  }
+}
+
+}  // namespace cashmere

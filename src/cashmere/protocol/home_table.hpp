@@ -1,0 +1,70 @@
+// Home assignment (Section 2.3, "Home node selection" and "Superpages").
+//
+// Homes are assigned per *superpage* (all pages of a superpage share a home
+// because each superpage is one Memory Channel mapping). Initial assignment
+// is round-robin; after application initialization a superpage is
+// re-assigned once to the first unit that touches it ("first touch"),
+// under a global lock — the only use of a global lock in the protocol.
+#ifndef CASHMERE_PROTOCOL_HOME_TABLE_HPP_
+#define CASHMERE_PROTOCOL_HOME_TABLE_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "cashmere/common/config.hpp"
+#include "cashmere/common/spin.hpp"
+#include "cashmere/common/types.hpp"
+
+namespace cashmere {
+
+class HomeTable {
+ public:
+  explicit HomeTable(const Config& cfg);
+
+  UnitId HomeOfPage(PageId page) const { return HomeOfSuperpage(page / superpage_pages_); }
+  UnitId HomeOfSuperpage(std::size_t sp) const {
+    return entries_[sp].home.load(std::memory_order_acquire);
+  }
+  bool IsDefault(std::size_t sp) const {
+    return !entries_[sp].relocated.load(std::memory_order_acquire);
+  }
+  std::size_t SuperpageOf(PageId page) const { return page / superpage_pages_; }
+  std::size_t superpages() const { return entries_.size(); }
+  std::size_t superpage_pages() const { return superpage_pages_; }
+
+  // First-touch phase control: relocation is only permitted between
+  // EnableFirstTouch() and the first relocation of each superpage.
+  void EnableFirstTouch() { first_touch_enabled_.store(true, std::memory_order_release); }
+  bool FirstTouchEnabled() const {
+    return first_touch_enabled_.load(std::memory_order_acquire);
+  }
+
+  // The global home-selection lock (paper: an MC lock; cost charged by the
+  // caller from the cost model).
+  SpinLock& GlobalLock() { return global_lock_; }
+
+  // Must hold GlobalLock(). Marks the superpage relocated to `unit`.
+  void Relocate(std::size_t sp, UnitId unit) {
+    entries_[sp].home.store(unit, std::memory_order_release);
+    entries_[sp].relocated.store(true, std::memory_order_release);
+  }
+  // Must hold GlobalLock(). Marks the superpage as permanently default
+  // (used when first touch decides to keep the round-robin home).
+  void SealDefault(std::size_t sp) { entries_[sp].relocated.store(true, std::memory_order_release); }
+
+ private:
+  struct Entry {
+    std::atomic<UnitId> home{0};
+    std::atomic<bool> relocated{false};
+  };
+
+  std::size_t superpage_pages_;
+  std::vector<Entry> entries_;
+  std::atomic<bool> first_touch_enabled_{false};
+  SpinLock global_lock_;
+};
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_PROTOCOL_HOME_TABLE_HPP_

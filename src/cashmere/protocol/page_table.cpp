@@ -1,0 +1,21 @@
+#include "cashmere/protocol/page_table.hpp"
+
+#include <memory>
+
+namespace cashmere {
+
+UnitState::UnitState(const Config& cfg, UnitId unit) {
+  const std::size_t pages = cfg.pages();
+  for (std::size_t i = 0; i < pages; ++i) {
+    pages_.emplace_back();
+  }
+  const int ppu = cfg.procs_per_unit();
+  dirty_.reserve(static_cast<std::size_t>(ppu));
+  nle_.reserve(static_cast<std::size_t>(ppu));
+  for (int i = 0; i < ppu; ++i) {
+    dirty_.push_back(std::make_unique<PageList>(pages));
+    nle_.push_back(std::make_unique<PageList>(pages));
+  }
+}
+
+}  // namespace cashmere

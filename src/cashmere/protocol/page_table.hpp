@@ -1,0 +1,170 @@
+// Per-unit protocol state: the second-level directory (per-processor
+// permissions + three timestamps per page, Section 2.3), the unit's
+// logical clock, per-processor dirty lists, and no-longer-exclusive (NLE)
+// lists.
+//
+// Timestamps hold values of the unit's logical clock, which is incremented
+// on protocol events (page faults, flushes, acquires, releases). They are:
+//   flush_ts  — when the most recent flush of the page to the home began;
+//   update_ts — when the local copy was last brought up to date;
+//   wn_ts     — when the most recent write notice for the page was
+//               distributed locally.
+// A fetch can be skipped iff update_ts > wn_ts; a flush can be skipped iff
+// it began after the releasing processor's release started.
+#ifndef CASHMERE_PROTOCOL_PAGE_TABLE_HPP_
+#define CASHMERE_PROTOCOL_PAGE_TABLE_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cashmere/common/config.hpp"
+#include "cashmere/common/logging.hpp"
+#include "cashmere/common/spin.hpp"
+#include "cashmere/common/types.hpp"
+
+namespace cashmere {
+
+// State of one page on one unit. The spin lock guards all fields; waiting
+// for a fetch in progress is done *without* the lock (see protocol).
+struct PageLocal {
+  SpinLock lock;
+  std::atomic<bool> fetch_in_progress{false};
+
+  std::atomic<std::uint64_t> update_ts{0};
+  std::atomic<std::uint64_t> wn_ts{0};
+  std::atomic<std::uint64_t> flush_ts{0};
+  // Virtual time at which the last flush's data was globally visible;
+  // used to order release->acquire reconciliation.
+  std::atomic<std::uint64_t> flush_vt{0};
+
+  std::uint8_t proc_perm[kMaxProcsPerNode] = {};  // Perm per local processor
+  std::uint8_t dirty_mask = 0;                    // local procs holding the page dirty
+  bool twin_valid = false;
+  bool exclusive = false;   // this unit holds the page in exclusive mode
+  ProcId excl_proc = 0;     // processor recorded as the exclusive holder
+  bool ever_valid = false;  // the local frame has held a valid copy
+
+  Perm PermOfLocal(int local_index) const {
+    return static_cast<Perm>(proc_perm[local_index]);
+  }
+  void SetPermOfLocal(int local_index, Perm p) {
+    proc_perm[local_index] = static_cast<std::uint8_t>(p);
+  }
+  Perm Loosest(int procs_per_unit) const {
+    Perm loosest = Perm::kInvalid;
+    for (int i = 0; i < procs_per_unit; ++i) {
+      if (proc_perm[i] > static_cast<std::uint8_t>(loosest)) {
+        loosest = static_cast<Perm>(proc_perm[i]);
+      }
+    }
+    return loosest;
+  }
+  int WriterCount(int procs_per_unit) const {
+    int n = 0;
+    for (int i = 0; i < procs_per_unit; ++i) {
+      if (proc_perm[i] == static_cast<std::uint8_t>(Perm::kReadWrite)) {
+        ++n;
+      }
+    }
+    return n;
+  }
+};
+
+// A bounded, lock-protected page list used for the per-processor dirty and
+// NLE lists. Deduplicates via bitmap, like the write-notice queues.
+class PageList {
+ public:
+  explicit PageList(std::size_t pages) : bitmap_((pages + 31) / 32), pages_() {
+    pages_.reserve(pages);
+    for (auto& w : bitmap_) {
+      w.store(0, std::memory_order_relaxed);
+    }
+  }
+  PageList(const PageList&) = delete;
+  PageList& operator=(const PageList&) = delete;
+
+  // Returns true if newly added.
+  bool Add(PageId page) {
+    SpinLockGuard guard(lock_);
+    std::atomic<std::uint32_t>& word = bitmap_[page / 32];
+    const std::uint32_t mask = 1u << (page % 32);
+    if ((word.load(std::memory_order_relaxed) & mask) != 0) {
+      return false;
+    }
+    word.fetch_or(mask, std::memory_order_relaxed);
+    pages_.push_back(page);
+    return true;
+  }
+
+  bool Contains(PageId page) const {
+    return (bitmap_[page / 32].load(std::memory_order_acquire) & (1u << (page % 32))) != 0;
+  }
+
+  // Removes and returns all pages (order preserved).
+  void TakeAll(std::vector<PageId>& out) {
+    SpinLockGuard guard(lock_);
+    out.insert(out.end(), pages_.begin(), pages_.end());
+    for (const PageId p : pages_) {
+      bitmap_[p / 32].fetch_and(~(1u << (p % 32)), std::memory_order_relaxed);
+    }
+    pages_.clear();
+  }
+
+  bool Empty() const {
+    SpinLockGuard guard(const_cast<SpinLock&>(lock_));
+    return pages_.empty();
+  }
+
+ private:
+  mutable SpinLock lock_;
+  std::vector<std::atomic<std::uint32_t>> bitmap_;
+  std::vector<PageId> pages_;
+};
+
+// All protocol state owned by one coherence unit.
+class UnitState {
+ public:
+  UnitState(const Config& cfg, UnitId unit);
+  UnitState(const UnitState&) = delete;
+  UnitState& operator=(const UnitState&) = delete;
+
+  PageLocal& Page(PageId page) { return pages_[page]; }
+  std::size_t page_count() const { return pages_.size(); }
+
+  // Logical clock: "incremented every time the protocol begins an acquire
+  // or release operation and applies local changes to the home node, or
+  // vice versa".
+  std::uint64_t Tick() { return clock_.fetch_add(1, std::memory_order_acq_rel) + 1; }
+  std::uint64_t Now() const { return clock_.load(std::memory_order_acquire); }
+
+  std::atomic<std::uint64_t>& last_release_time() { return last_release_time_; }
+
+  PageList& DirtyList(int local_index) { return *dirty_[static_cast<std::size_t>(local_index)]; }
+  PageList& NleList(int local_index) { return *nle_[static_cast<std::size_t>(local_index)]; }
+
+  // Barrier-episode arrival mask (for the "last arriving local writer"
+  // flush rule, Section 2.3).
+  std::atomic<std::uint32_t>& barrier_arrived_mask() { return barrier_arrived_mask_; }
+
+  // Serializes global write-notice drain + distribution among this unit's
+  // processors, so a processor that finds the global bins already drained
+  // is guaranteed the concurrent drainer has finished distributing to the
+  // per-processor lists before it processes its own list.
+  SpinLock& acquire_lock() { return acquire_lock_; }
+
+ private:
+  std::deque<PageLocal> pages_;
+  std::atomic<std::uint64_t> clock_{1};
+  std::atomic<std::uint64_t> last_release_time_{0};
+  std::vector<std::unique_ptr<PageList>> dirty_;
+  std::vector<std::unique_ptr<PageList>> nle_;
+  std::atomic<std::uint32_t> barrier_arrived_mask_{0};
+  SpinLock acquire_lock_;
+};
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_PROTOCOL_PAGE_TABLE_HPP_

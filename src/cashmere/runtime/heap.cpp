@@ -1,0 +1,15 @@
+#include "cashmere/runtime/heap.hpp"
+
+#include "cashmere/common/logging.hpp"
+
+namespace cashmere {
+
+GlobalAddr SharedHeap::Alloc(std::size_t bytes, std::size_t align) {
+  CSM_CHECK(align != 0 && (align & (align - 1)) == 0);
+  const std::size_t aligned = (used_ + align - 1) & ~(align - 1);
+  CSM_CHECK(aligned + bytes <= capacity_ && "shared heap exhausted; raise Config::heap_bytes");
+  used_ = aligned + bytes;
+  return aligned;
+}
+
+}  // namespace cashmere

@@ -1,0 +1,35 @@
+// Shared heap: a bump allocator over the shared address range. All shared
+// data is allocated before the parallel region starts (as in the paper's
+// applications); allocations return heap offsets (GlobalAddr) that every
+// processor translates through its own view.
+#ifndef CASHMERE_RUNTIME_HEAP_HPP_
+#define CASHMERE_RUNTIME_HEAP_HPP_
+
+#include <cstddef>
+
+#include "cashmere/common/types.hpp"
+
+namespace cashmere {
+
+class SharedHeap {
+ public:
+  explicit SharedHeap(std::size_t bytes) : capacity_(bytes) {}
+
+  // Allocates `bytes` with the given alignment; aborts if the heap is full.
+  GlobalAddr Alloc(std::size_t bytes, std::size_t align = 64);
+
+  // Page-aligned allocation (puts the datum at the start of a fresh page,
+  // useful for controlling false sharing in tests and workloads).
+  GlobalAddr AllocPageAligned(std::size_t bytes) { return Alloc(bytes, kPageBytes); }
+
+  std::size_t used() const { return used_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_RUNTIME_HEAP_HPP_

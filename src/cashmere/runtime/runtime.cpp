@@ -1,0 +1,300 @@
+#include "cashmere/runtime/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+
+#include "cashmere/common/calibration.hpp"
+#include "cashmere/common/logging.hpp"
+#include "cashmere/protocol/diff.hpp"
+
+namespace cashmere {
+
+Runtime::Runtime(Config cfg, SyncShape sync)
+    : cfg_(std::move(cfg)),
+      hub_(cfg_.units()),
+      dir_((cfg_.Validate(), cfg_), hub_),
+      homes_(cfg_),
+      notices_(cfg_, hub_),
+      msg_(cfg_),
+      heap_(cfg_.heap_bytes) {
+  if (cfg_.cost_scale != 1.0 && cfg_.cost_scale > 0.0) {
+    cfg_.costs = cfg_.costs.ScaledBy(cfg_.cost_scale);
+  }
+  hub_.set_ns_per_byte(cfg_.costs.mc_ns_per_byte);
+  const int units = cfg_.units();
+  arenas_.reserve(static_cast<std::size_t>(units));
+  twins_.reserve(static_cast<std::size_t>(units));
+  units_.reserve(static_cast<std::size_t>(units));
+  for (UnitId u = 0; u < units; ++u) {
+    arenas_.push_back(std::make_unique<Arena>(cfg_.heap_bytes, "cashmere-arena"));
+    twins_.push_back(std::make_unique<TwinPool>(cfg_.heap_bytes));
+    units_.push_back(std::make_unique<UnitState>(cfg_, u));
+  }
+
+  views_.reserve(static_cast<std::size_t>(cfg_.total_procs()));
+  for (ProcId p = 0; p < cfg_.total_procs(); ++p) {
+    const UnitId u = cfg_.UnitOfProc(p);
+    views_.push_back(std::make_unique<View>(cfg_, *arenas_[static_cast<std::size_t>(u)]));
+    if (cfg_.home_opt && !cfg_.two_level()) {
+      // Home-node optimization: map master frames for superpages whose home
+      // processor shares this processor's SMP node.
+      for (std::size_t sp = 0; sp < homes_.superpages(); ++sp) {
+        const UnitId home = homes_.HomeOfSuperpage(sp);
+        if (home != u &&
+            cfg_.NodeOfProc(cfg_.FirstProcOfUnit(home)) == cfg_.NodeOfProc(p)) {
+          views_.back()->RemapSuperpage(sp, *arenas_[static_cast<std::size_t>(home)]);
+        }
+      }
+    }
+    if (cfg_.fault_mode == FaultMode::kSoftware) {
+      // Software fault mode: accesses are checked explicitly, so the views
+      // are left fully open.
+      for (PageId page = 0; page < cfg_.pages(); ++page) {
+        views_.back()->Protect(page, Perm::kReadWrite);
+      }
+    }
+  }
+
+  CashmereProtocol::Deps deps;
+  deps.cfg = &cfg_;
+  deps.hub = &hub_;
+  deps.msg = &msg_;
+  deps.dir = &dir_;
+  deps.homes = &homes_;
+  deps.notices = &notices_;
+  deps.arenas = &arenas_;
+  deps.views = &views_;
+  deps.twins = &twins_;
+  deps.units = &units_;
+  protocol_ = std::make_unique<CashmereProtocol>(deps);
+
+  for (int i = 0; i < sync.locks; ++i) {
+    locks_.emplace_back(cfg_, hub_, *protocol_);
+  }
+  for (int i = 0; i < sync.barriers; ++i) {
+    barriers_.emplace_back(cfg_, hub_, *protocol_);
+  }
+  for (int i = 0; i < sync.flags; ++i) {
+    flags_.emplace_back(cfg_, hub_, *protocol_);
+  }
+  internal_barrier_ =
+      std::make_unique<ClusterBarrier>(cfg_, hub_, *protocol_, /*counted=*/false);
+
+  for (ProcId p = 0; p < cfg_.total_procs(); ++p) {
+    contexts_.emplace_back();
+    Context& ctx = contexts_.back();
+    ctx.proc_ = p;
+    ctx.node_ = cfg_.NodeOfProc(p);
+    ctx.unit_ = cfg_.UnitOfProc(p);
+    ctx.local_index_ = p - cfg_.FirstProcOfUnit(ctx.unit_);
+    ctx.total_procs_ = cfg_.total_procs();
+    ctx.view_base_ = views_[static_cast<std::size_t>(p)]->base();
+    ctx.runtime_ = this;
+  }
+}
+
+Runtime::~Runtime() = default;
+
+ClusterLock& Runtime::LockAt(int id) {
+  CSM_CHECK(id >= 0 && static_cast<std::size_t>(id) < locks_.size());
+  return locks_[static_cast<std::size_t>(id)];
+}
+
+ClusterBarrier& Runtime::BarrierAt(int id) {
+  CSM_CHECK(id >= 0 && static_cast<std::size_t>(id) < barriers_.size());
+  return barriers_[static_cast<std::size_t>(id)];
+}
+
+ClusterFlag& Runtime::FlagAt(int id) {
+  CSM_CHECK(id >= 0 && static_cast<std::size_t>(id) < flags_.size());
+  return flags_[static_cast<std::size_t>(id)];
+}
+
+void Runtime::CopyIn(GlobalAddr addr, const void* src, std::size_t bytes) {
+  CSM_CHECK(!running_.load());
+  const auto* s = static_cast<const std::byte*>(src);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const GlobalAddr a = addr + done;
+    const PageId page = PageOf(a);
+    const std::size_t in_page = std::min(bytes - done, kPageBytes - PageOffset(a));
+    std::byte* master = protocol_->MasterPtr(page) + PageOffset(a);
+    std::copy_n(s + done, in_page, master);
+    done += in_page;
+  }
+}
+
+void Runtime::CopyOut(GlobalAddr addr, void* dst, std::size_t bytes) const {
+  auto* d = static_cast<std::byte*>(dst);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const GlobalAddr a = addr + done;
+    const PageId page = PageOf(a);
+    const std::size_t in_page = std::min(bytes - done, kPageBytes - PageOffset(a));
+    const std::byte* master = protocol_->MasterPtr(page) + PageOffset(a);
+    std::copy_n(master, in_page, d + done);
+    done += in_page;
+  }
+}
+
+bool Runtime::HandleFault(void* addr, bool is_write) {
+  Context* ctx = Context::Current();
+  if (ctx == nullptr || ctx->runtime_ != this) {
+    return false;
+  }
+  View& view = *views_[static_cast<std::size_t>(ctx->proc())];
+  if (!view.Contains(addr)) {
+    // Check whether the address belongs to another processor's view: that
+    // is a program error (views are per-processor, like per-process
+    // mappings on the real system), so crash loudly.
+    for (ProcId p = 0; p < cfg_.total_procs(); ++p) {
+      if (p != ctx->proc() && views_[static_cast<std::size_t>(p)]->Contains(addr)) {
+        std::fprintf(stderr,
+                     "cashmere: processor %d touched processor %d's view at %p\n",
+                     ctx->proc(), p, addr);
+        return false;
+      }
+    }
+    return false;
+  }
+  BumpProgress();
+  protocol_->OnFault(*ctx, view.PageOfAddr(addr), is_write);
+  return true;
+}
+
+void Runtime::EnableFirstTouchCollective(Context& ctx) {
+  internal_barrier_->Wait(ctx);
+  if (ctx.proc() == 0) {
+    homes_.EnableFirstTouch();
+  }
+  internal_barrier_->Wait(ctx);
+}
+
+void Runtime::WatchdogLoop() {
+  using Clock = std::chrono::steady_clock;
+  // "Progress" means completed work, not spinning: sampled from the
+  // per-processor event counters (racy reads are fine for a heuristic).
+  // A contended-but-live lock keeps acquiring; a deadlocked run freezes
+  // every counter.
+  const auto sample = [this] {
+    std::uint64_t total = progress_.load(std::memory_order_relaxed) + msg_.heartbeat();
+    for (const Context& ctx : contexts_) {
+      const Stats& s = ctx.stats_;
+      total += s.Get(Counter::kLockAcquires) + s.Get(Counter::kFlagAcquires) +
+               s.Get(Counter::kBarriers) + s.Get(Counter::kReadFaults) +
+               s.Get(Counter::kWriteFaults) + s.Get(Counter::kPageTransfers) +
+               s.Get(Counter::kMessagesHandled) + s.Get(Counter::kPageFlushes);
+    }
+    return total;
+  };
+  std::uint64_t last_progress = sample();
+  auto last_change = Clock::now();
+  while (running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    const std::uint64_t p = sample();
+    if (p != last_progress) {
+      last_progress = p;
+      last_change = Clock::now();
+      continue;
+    }
+    const double stalled =
+        std::chrono::duration<double>(Clock::now() - last_change).count();
+    if (cfg_.watchdog_seconds > 0 && stalled > cfg_.watchdog_seconds) {
+      std::fprintf(stderr,
+                   "cashmere: watchdog: no progress for %.0f s (%s) — aborting\n",
+                   stalled, cfg_.Describe().c_str());
+      for (const Context& ctx : contexts_) {
+        const std::uint64_t st = ctx.debug_state();
+        std::fprintf(stderr, "  p%-2d state=%llu detail=%llu vt=%.6f\n", ctx.proc(),
+                     (unsigned long long)(st >> 56),
+                     (unsigned long long)(st & 0xffffffffull),
+                     static_cast<double>(ctx.clock_.now()) / 1e9);
+      }
+      for (std::size_t i = 0; i < locks_.size(); ++i) {
+        if (locks_[i].DebugBusy()) {
+          locks_[i].DebugDump(static_cast<int>(i));
+        }
+      }
+      for (UnitId u = 0; u < cfg_.units(); ++u) {
+        for (PageId page = 0; page < cfg_.pages(); ++page) {
+          PageLocal& pl = protocol_->PageState(u, page);
+          const bool fip = pl.fetch_in_progress.load(std::memory_order_relaxed);
+          const bool got = pl.lock.TryLock();
+          if (got) {
+            pl.lock.Unlock();
+          }
+          if (fip || !got) {
+            std::fprintf(stderr,
+                         "  unit=%d page=%u pl=%x fip=%d lock_held=%d excl=%d twin=%d\n", u,
+                         page,
+                         (unsigned)(reinterpret_cast<std::uintptr_t>(&pl) & 0xffffffffu),
+                         fip ? 1 : 0, got ? 0 : 1, pl.exclusive ? 1 : 0,
+                         pl.twin_valid ? 1 : 0);
+          }
+        }
+      }
+      std::abort();
+    }
+  }
+}
+
+void Runtime::Run(const std::function<void(Context&)>& body) {
+  // Run may be called repeatedly: protocol state (cached pages, homes)
+  // persists across phases; per-processor statistics and clocks reset so
+  // each report covers one Run.
+  ran_ = true;
+  for (Context& ctx : contexts_) {
+    ctx.stats_ = Stats{};
+  }
+  const double scale = cfg_.time_scale > 0 ? cfg_.time_scale : HostToAlphaTimeScale();
+
+  if (cfg_.fault_mode == FaultMode::kSigsegv) {
+    FaultDispatcher::Instance().Register(this);
+  }
+  running_.store(true, std::memory_order_release);
+  std::thread watchdog([this] { WatchdogLoop(); });
+
+  std::vector<VirtTime> final_vt(static_cast<std::size_t>(cfg_.total_procs()), 0);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(cfg_.total_procs()));
+  for (ProcId p = 0; p < cfg_.total_procs(); ++p) {
+    threads.emplace_back([this, p, scale, &body, &final_vt] {
+      Context& ctx = contexts_[static_cast<std::size_t>(p)];
+      Context::Bind(&ctx);
+      ctx.clock().Start(scale);
+      body(ctx);
+      ctx.clock().AccrueUser(ctx.stats());
+      final_vt[static_cast<std::size_t>(p)] = ctx.clock().now();
+      // Quiesce: flush outstanding modifications so master copies hold the
+      // final data for CopyOut, then drain in two collective steps.
+      protocol_->ReleaseSync(ctx, /*barrier_arrival=*/false);
+      internal_barrier_->Wait(ctx);
+      if (ctx.local_index() == 0) {
+        protocol_->FinalFlush(ctx);
+      }
+      internal_barrier_->Wait(ctx);
+      Context::Bind(nullptr);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  running_.store(false, std::memory_order_release);
+  watchdog.join();
+  if (cfg_.fault_mode == FaultMode::kSigsegv) {
+    FaultDispatcher::Instance().Unregister(this);
+  }
+
+  report_ = StatsReport{};
+  for (Context& ctx : contexts_) {
+    report_.total += ctx.stats_;
+    report_.user_host_ns += ctx.clock_.user_host_ns();
+  }
+  report_.total.counts[static_cast<int>(Counter::kDataBytes)] = hub_.DataBytes();
+  report_.exec_time_ns = *std::max_element(final_vt.begin(), final_vt.end());
+}
+
+}  // namespace cashmere

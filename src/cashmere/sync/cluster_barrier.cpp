@@ -1,0 +1,70 @@
+#include "cashmere/sync/cluster_barrier.hpp"
+
+#include "cashmere/common/spin.hpp"
+#include "cashmere/protocol/cashmere_protocol.hpp"
+#include "cashmere/runtime/context.hpp"
+
+namespace cashmere {
+
+ClusterBarrier::ClusterBarrier(const Config& cfg, McHub& hub, CashmereProtocol& protocol,
+                               bool counted)
+    : cfg_(cfg), hub_(hub), protocol_(protocol), counted_(counted) {}
+
+void ClusterBarrier::Wait(Context& ctx) {
+  ProtocolScope scope(ctx);
+  if (counted_ && ctx.proc() == 0) {
+    ctx.stats().Add(Counter::kBarriers);  // count episodes, not arrivals
+  }
+
+  // Arrival: flush dirty pages for which we are the last arriving local
+  // writer, then announce.
+  protocol_.BarrierArriveBegin(ctx);
+  protocol_.ReleaseSync(ctx, /*barrier_arrival=*/true);
+
+  const std::uint64_t my_epoch = epoch_.load(std::memory_order_acquire);
+  Episode& episode = episodes_[my_epoch % 2];
+
+  // Publish our arrival clock (max over participants drives departure).
+  std::uint64_t now = ctx.clock().now();
+  std::uint64_t seen = episode.max_vt.load(std::memory_order_relaxed);
+  while (seen < now &&
+         !episode.max_vt.compare_exchange_weak(seen, now, std::memory_order_acq_rel)) {
+  }
+
+  // Intra-node arrival through hardware shared memory; the last local
+  // arriver announces the node over the Memory Channel.
+  const int local_arrived =
+      node_count_[ctx.node()].fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (local_arrived == cfg_.procs_per_node) {
+    node_count_[ctx.node()].store(0, std::memory_order_release);
+    hub_.AccountWrite(Traffic::kSyncObject, kWordBytes * static_cast<std::size_t>(cfg_.nodes));
+    episode.node_arrivals.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  const int total_arrived = episode.arrived.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (total_arrived == cfg_.total_procs()) {
+    // Last arriver: compute the departure clock, prepare the next episode's
+    // slot, and release everyone.
+    episode.release_vt.store(episode.max_vt.load(std::memory_order_acquire) +
+                                 cfg_.costs.BarrierNs(cfg_.total_procs(), cfg_.two_level()),
+                             std::memory_order_release);
+    Episode& next = episodes_[(my_epoch + 1) % 2];
+    next.arrived.store(0, std::memory_order_relaxed);
+    next.max_vt.store(0, std::memory_order_relaxed);
+    next.node_arrivals.store(0, std::memory_order_relaxed);
+    epoch_.store(my_epoch + 1, std::memory_order_release);
+  } else {
+    Backoff backoff;
+    while (epoch_.load(std::memory_order_acquire) == my_epoch) {
+      protocol_.Poll(ctx);
+      backoff.Pause();
+    }
+  }
+
+  // Departure: reconcile clocks and run acquire-side consistency.
+  ctx.clock().AdvanceTo(ctx.stats(), episode.release_vt.load(std::memory_order_acquire));
+  protocol_.AcquireSync(ctx);
+  protocol_.BarrierDepartEnd(ctx);
+}
+
+}  // namespace cashmere

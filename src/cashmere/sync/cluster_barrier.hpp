@@ -1,0 +1,56 @@
+// Two-level application barriers (Section 2.3).
+//
+// Processors within a node synchronize through shared memory; the last
+// local arriver announces the node's arrival over MC. Each processor, as
+// it arrives, flushes the (non-exclusive) dirty pages for which it is the
+// last arriving local writer; departure runs acquire-side consistency.
+//
+// Virtual time: departure reconciles every participant to the maximum
+// arrival clock plus the measured barrier cost (Table 1).
+#ifndef CASHMERE_SYNC_CLUSTER_BARRIER_HPP_
+#define CASHMERE_SYNC_CLUSTER_BARRIER_HPP_
+
+#include <atomic>
+#include <cstdint>
+
+#include "cashmere/common/config.hpp"
+#include "cashmere/common/types.hpp"
+#include "cashmere/mc/hub.hpp"
+
+namespace cashmere {
+
+class CashmereProtocol;
+class Context;
+
+class ClusterBarrier {
+ public:
+  // `counted` distinguishes application barriers (Table 3 statistics) from
+  // the runtime's internal quiesce barriers.
+  ClusterBarrier(const Config& cfg, McHub& hub, CashmereProtocol& protocol,
+                 bool counted = true);
+  ClusterBarrier(const ClusterBarrier&) = delete;
+  ClusterBarrier& operator=(const ClusterBarrier&) = delete;
+
+  void Wait(Context& ctx);
+
+ private:
+  struct Episode {
+    std::atomic<int> arrived{0};
+    std::atomic<std::uint64_t> max_vt{0};
+    std::atomic<std::uint64_t> release_vt{0};
+    std::atomic<int> node_arrivals{0};  // nodes fully arrived (MC array)
+  };
+
+  const Config& cfg_;
+  McHub& hub_;
+  CashmereProtocol& protocol_;
+  bool counted_;
+  Episode episodes_[2];
+  std::atomic<std::uint64_t> epoch_{0};
+  // Per-node local arrival counters (hardware shared memory level).
+  std::atomic<int> node_count_[kMaxNodes] = {};
+};
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_SYNC_CLUSTER_BARRIER_HPP_

@@ -1,0 +1,54 @@
+#include "cashmere/sync/cluster_flag.hpp"
+
+#include "cashmere/common/spin.hpp"
+#include "cashmere/protocol/cashmere_protocol.hpp"
+#include "cashmere/runtime/context.hpp"
+
+namespace cashmere {
+
+ClusterFlag::ClusterFlag(const Config& cfg, McHub& hub, CashmereProtocol& protocol)
+    : cfg_(cfg), hub_(hub), protocol_(protocol) {}
+
+void ClusterFlag::Set(Context& ctx, std::uint64_t value) {
+  ProtocolScope scope(ctx);
+  protocol_.ReleaseSync(ctx, /*barrier_arrival=*/false);
+  // Publish the releaser's clock before the value so a waiter that sees the
+  // value also sees a clock at least this late.
+  const VirtTime vt =
+      ctx.clock().now() + CostModel::UsToNs(cfg_.costs.mc_write_latency_us);
+  VirtTime seen = set_vt_.load(std::memory_order_relaxed);
+  while (seen < vt &&
+         !set_vt_.compare_exchange_weak(seen, vt, std::memory_order_acq_rel)) {
+  }
+  hub_.AccountWrite(Traffic::kSyncObject, kWordBytes * static_cast<std::size_t>(cfg_.units()));
+  // Values are event counts: sets are monotonic, so concurrent setters
+  // (serialized by an application lock but racing on the flag write)
+  // cannot regress the published count.
+  std::uint64_t current = value_.load(std::memory_order_relaxed);
+  while (current < value &&
+         !value_.compare_exchange_weak(current, value, std::memory_order_acq_rel)) {
+  }
+}
+
+void ClusterFlag::WaitGe(Context& ctx, std::uint64_t value) {
+  if (value_.load(std::memory_order_acquire) >= value) {
+    // Fast path still needs acquire-side consistency to see the data the
+    // flag protects.
+    ProtocolScope scope(ctx);
+    ctx.stats().Add(Counter::kFlagAcquires);
+    ctx.clock().AdvanceTo(ctx.stats(), set_vt_.load(std::memory_order_acquire));
+    protocol_.AcquireSync(ctx);
+    return;
+  }
+  ProtocolScope scope(ctx);
+  ctx.stats().Add(Counter::kFlagAcquires);
+  Backoff backoff;
+  while (value_.load(std::memory_order_acquire) < value) {
+    protocol_.Poll(ctx);
+    backoff.Pause();
+  }
+  ctx.clock().AdvanceTo(ctx.stats(), set_vt_.load(std::memory_order_acquire));
+  protocol_.AcquireSync(ctx);
+}
+
+}  // namespace cashmere

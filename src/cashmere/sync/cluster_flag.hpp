@@ -1,0 +1,43 @@
+// Application flags (Section 2.2): single-writer event counts used for
+// producer/consumer synchronization (e.g. Gauss's per-row pivot flags).
+// A set is a release followed by an MC broadcast of the value; a wait spins
+// (polling) on the local replica, then runs acquire-side consistency.
+#ifndef CASHMERE_SYNC_CLUSTER_FLAG_HPP_
+#define CASHMERE_SYNC_CLUSTER_FLAG_HPP_
+
+#include <atomic>
+#include <cstdint>
+
+#include "cashmere/common/config.hpp"
+#include "cashmere/common/types.hpp"
+#include "cashmere/mc/hub.hpp"
+
+namespace cashmere {
+
+class CashmereProtocol;
+class Context;
+
+class ClusterFlag {
+ public:
+  ClusterFlag(const Config& cfg, McHub& hub, CashmereProtocol& protocol);
+  ClusterFlag(const ClusterFlag&) = delete;
+  ClusterFlag& operator=(const ClusterFlag&) = delete;
+
+  // Release-sets the flag to `value` (monotonically increasing values only).
+  void Set(Context& ctx, std::uint64_t value);
+  // Waits until the flag is >= `value`, then acquires.
+  void WaitGe(Context& ctx, std::uint64_t value);
+
+  std::uint64_t Peek() const { return value_.load(std::memory_order_acquire); }
+
+ private:
+  const Config& cfg_;
+  McHub& hub_;
+  CashmereProtocol& protocol_;
+  std::atomic<std::uint64_t> value_{0};
+  std::atomic<VirtTime> set_vt_{0};
+};
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_SYNC_CLUSTER_FLAG_HPP_

@@ -1,0 +1,104 @@
+#include "cashmere/sync/cluster_lock.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "cashmere/common/rng.hpp"
+#include "cashmere/protocol/cashmere_protocol.hpp"
+#include "cashmere/runtime/context.hpp"
+
+namespace cashmere {
+
+ClusterLock::ClusterLock(const Config& cfg, McHub& hub, CashmereProtocol& protocol)
+    : cfg_(cfg), hub_(hub), protocol_(protocol) {}
+
+void ClusterLock::Acquire(Context& ctx) {
+  ProtocolScope scope(ctx);
+  ctx.stats().Add(Counter::kLockAcquires);
+  const UnitId unit = ctx.unit();
+  const NodeId node = ctx.node();
+
+  // 1. Per-node flag (ll/sc): only one processor per node competes on MC.
+  Backoff backoff;
+  while (node_flag_[node].exchange(true, std::memory_order_acquire)) {
+    protocol_.Poll(ctx);
+    backoff.Pause();
+  }
+
+  // 2. MC array protocol with loop-back confirmation.
+  SplitMix64 rng(static_cast<std::uint64_t>(ctx.proc()) * 0x9e37u + 1);
+  std::uint64_t backoff_window = 8;
+  while (true) {
+    hub_.OrderedBroadcast32(&entries_[unit], 1, Traffic::kSyncObject);
+    // Loop-back: on the real MC, waiting for one's own write to return
+    // through the hub guarantees that all earlier-ordered writes are
+    // visible before the array is read. The memory-model equivalent is a
+    // full fence: without it, two claimants can each miss the other's
+    // just-stored entry (store-buffer reordering) and both "win".
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                       CostModel::UsToNs(2.0 * cfg_.costs.mc_write_latency_us));
+    bool sole = true;
+    for (int u = 0; u < cfg_.units(); ++u) {
+      if (u != unit && LoadWord32(&entries_[u]) != 0) {
+        sole = false;
+        break;
+      }
+    }
+    if (sole) {
+      break;
+    }
+    hub_.OrderedBroadcast32(&entries_[unit], 0, Traffic::kSyncObject);
+    // Randomized exponential backoff (livelock resistance among up to
+    // kMaxNodes competitors); keep servicing requests while waiting.
+    const auto spins = 1 + rng.NextBelow(backoff_window);
+    backoff_window = backoff_window < 4096 ? backoff_window * 2 : backoff_window;
+    for (std::uint64_t i = 0; i < spins; ++i) {
+      protocol_.Poll(ctx);
+      backoff.Pause();
+    }
+  }
+
+  // Acquired: reconcile with the previous releaser's clock, charge the
+  // measured acquire cost, and run consistency actions.
+  ctx.clock().AdvanceTo(ctx.stats(), release_vt_.load(std::memory_order_acquire));
+  ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                     cfg_.costs.LockAcquireNs(cfg_.two_level()));
+  protocol_.AcquireSync(ctx);
+}
+
+bool ClusterLock::DebugBusy() const {
+  for (int u = 0; u < cfg_.units(); ++u) {
+    if (LoadWord32(&entries_[u]) != 0) {
+      return true;
+    }
+  }
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    if (node_flag_[n].load(std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ClusterLock::DebugDump(int id) const {
+  std::fprintf(stderr, "  lock %d: entries", id);
+  for (int u = 0; u < cfg_.units(); ++u) {
+    std::fprintf(stderr, " %u", LoadWord32(&entries_[u]));
+  }
+  std::fprintf(stderr, " node_flags");
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    std::fprintf(stderr, " %d", node_flag_[n].load(std::memory_order_relaxed) ? 1 : 0);
+  }
+  std::fprintf(stderr, "\n");
+}
+
+void ClusterLock::Release(Context& ctx) {
+  ProtocolScope scope(ctx);
+  protocol_.ReleaseSync(ctx, /*barrier_arrival=*/false);
+  release_vt_.store(ctx.clock().now(), std::memory_order_release);
+  hub_.OrderedBroadcast32(&entries_[ctx.unit()], 0, Traffic::kSyncObject);
+  node_flag_[ctx.node()].store(false, std::memory_order_release);
+}
+
+}  // namespace cashmere

@@ -1,0 +1,57 @@
+// Distributed application locks (Section 2.3, "Synchronization").
+//
+// A lock is an array in Memory Channel space with one entry per unit, plus
+// a per-node test-and-set flag. To acquire: take the node flag (ll/sc),
+// set your array entry via broadcast, wait for loop-back to confirm the
+// write is globally performed, then read the whole array — if yours is the
+// only entry set, the lock is held; otherwise clear, back off, retry. MC's
+// total write ordering makes this correct without any read-modify-write on
+// the network.
+//
+// Consistency actions run on completion of an acquire and prior to a
+// release (release consistency). Virtual time: the lock carries the
+// releaser's clock; an acquirer advances to it (the wait component of
+// Figure 6).
+#ifndef CASHMERE_SYNC_CLUSTER_LOCK_HPP_
+#define CASHMERE_SYNC_CLUSTER_LOCK_HPP_
+
+#include <atomic>
+#include <cstdint>
+
+#include "cashmere/common/config.hpp"
+#include "cashmere/common/spin.hpp"
+#include "cashmere/common/types.hpp"
+#include "cashmere/mc/hub.hpp"
+
+namespace cashmere {
+
+class CashmereProtocol;
+class Context;
+
+class ClusterLock {
+ public:
+  ClusterLock(const Config& cfg, McHub& hub, CashmereProtocol& protocol);
+  ClusterLock(const ClusterLock&) = delete;
+  ClusterLock& operator=(const ClusterLock&) = delete;
+
+  void Acquire(Context& ctx);
+  void Release(Context& ctx);
+
+  // Hang diagnostics: true if any array entry or node flag is set.
+  bool DebugBusy() const;
+  void DebugDump(int id) const;
+
+ private:
+  const Config& cfg_;
+  McHub& hub_;
+  CashmereProtocol& protocol_;
+  // Per-node test-and-set flags (ll/sc on the real system).
+  std::atomic<bool> node_flag_[kMaxNodes] = {};
+  // The replicated MC lock array: one word per unit.
+  std::uint32_t entries_[kMaxProcs] = {};
+  std::atomic<VirtTime> release_vt_{0};
+};
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_SYNC_CLUSTER_LOCK_HPP_

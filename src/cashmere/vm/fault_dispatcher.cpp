@@ -1,0 +1,91 @@
+#include "cashmere/vm/fault_dispatcher.hpp"
+
+#include <signal.h>
+#include <string.h>
+#include <ucontext.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cashmere/common/logging.hpp"
+
+namespace cashmere {
+
+namespace {
+
+struct sigaction g_previous_action;
+
+bool IsWriteFault(void* ucontext_ptr) {
+#if defined(__x86_64__)
+  auto* uc = static_cast<ucontext_t*>(ucontext_ptr);
+  // Page-fault error code: bit 1 set means the access was a write.
+  return (uc->uc_mcontext.gregs[REG_ERR] & 0x2) != 0;
+#elif defined(__aarch64__)
+  auto* uc = static_cast<ucontext_t*>(ucontext_ptr);
+  // ESR_EL1 WnR bit (bit 6) for data aborts.
+  return (uc->uc_mcontext.__reserved[0] & 0x40) != 0;  // best effort
+#else
+  (void)ucontext_ptr;
+  return true;  // conservative: treat as write
+#endif
+}
+
+}  // namespace
+
+FaultDispatcher& FaultDispatcher::Instance() {
+  static FaultDispatcher* instance = new FaultDispatcher();
+  return *instance;
+}
+
+void FaultDispatcher::Register(FaultSink* sink) {
+  SpinLockGuard guard(lock_);
+  if (!installed_) {
+    struct sigaction action;
+    memset(&action, 0, sizeof(action));
+    action.sa_sigaction = reinterpret_cast<void (*)(int, siginfo_t*, void*)>(
+        reinterpret_cast<void*>(&FaultDispatcher::OnSignal));
+    action.sa_flags = SA_SIGINFO | SA_NODEFER;
+    sigemptyset(&action.sa_mask);
+    CSM_CHECK(sigaction(SIGSEGV, &action, &g_previous_action) == 0);
+    installed_ = true;
+  }
+  for (auto& slot : sinks_) {
+    FaultSink* expected = nullptr;
+    if (slot.compare_exchange_strong(expected, sink)) {
+      registered_.fetch_add(1);
+      return;
+    }
+  }
+  CSM_CHECK(false && "too many fault sinks");
+}
+
+void FaultDispatcher::Unregister(FaultSink* sink) {
+  SpinLockGuard guard(lock_);
+  for (auto& slot : sinks_) {
+    FaultSink* expected = sink;
+    if (slot.compare_exchange_strong(expected, nullptr)) {
+      registered_.fetch_sub(1);
+      return;
+    }
+  }
+}
+
+void FaultDispatcher::OnSignal(int signo, void* info, void* ucontext) {
+  auto* si = static_cast<siginfo_t*>(info);
+  void* addr = si->si_addr;
+  const bool is_write = IsWriteFault(ucontext);
+  FaultDispatcher& self = Instance();
+  for (auto& slot : self.sinks_) {
+    FaultSink* sink = slot.load(std::memory_order_acquire);
+    if (sink != nullptr && sink->HandleFault(addr, is_write)) {
+      return;
+    }
+  }
+  // Not ours: restore the previous disposition and re-raise for a real crash.
+  std::fprintf(stderr, "cashmere: unhandled SIGSEGV at %p (%s)\n", addr,
+               is_write ? "write" : "read");
+  sigaction(SIGSEGV, &g_previous_action, nullptr);
+  raise(signo);
+}
+
+}  // namespace cashmere

@@ -1,0 +1,51 @@
+// SIGSEGV-driven page-fault dispatch. Faults on a processor view are routed
+// to the coherence protocol of the runtime that owns the view; anything else
+// falls through to the default disposition (a genuine crash).
+//
+// Signal handlers are process-global, so the dispatcher is a singleton that
+// multiple Runtime instances register with (tests create runtimes
+// back-to-back; only one is typically live at a time, but registration is
+// reference-counted and thread-safe).
+#ifndef CASHMERE_VM_FAULT_DISPATCHER_HPP_
+#define CASHMERE_VM_FAULT_DISPATCHER_HPP_
+
+#include <atomic>
+#include <cstddef>
+
+#include "cashmere/common/spin.hpp"
+#include "cashmere/common/types.hpp"
+
+namespace cashmere {
+
+// Implemented by the runtime: handle a fault by `proc` on `page`.
+// `is_write` is derived from the hardware error code.
+class FaultSink {
+ public:
+  virtual ~FaultSink() = default;
+  // Returns true if the fault was consumed (permissions now allow the
+  // access); false means the fault was not ours.
+  virtual bool HandleFault(void* addr, bool is_write) = 0;
+};
+
+class FaultDispatcher {
+ public:
+  static FaultDispatcher& Instance();
+
+  // Installs the SIGSEGV handler on first registration.
+  void Register(FaultSink* sink);
+  void Unregister(FaultSink* sink);
+
+ private:
+  FaultDispatcher() = default;
+  static void OnSignal(int signo, void* info, void* ucontext);
+
+  static constexpr int kMaxSinks = 8;
+  SpinLock lock_;
+  std::atomic<FaultSink*> sinks_[kMaxSinks] = {};
+  std::atomic<int> registered_{0};
+  bool installed_ = false;
+};
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_VM_FAULT_DISPATCHER_HPP_

@@ -1,0 +1,67 @@
+#include "cashmere/vm/view.hpp"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+
+#include "cashmere/common/logging.hpp"
+#include "cashmere/vm/arena.hpp"
+
+namespace cashmere {
+
+int PermToProt(Perm perm) {
+  switch (perm) {
+    case Perm::kInvalid:
+      return PROT_NONE;
+    case Perm::kRead:
+      return PROT_READ;
+    case Perm::kReadWrite:
+      return PROT_READ | PROT_WRITE;
+  }
+  return PROT_NONE;
+}
+
+View::View(const Config& cfg, const Arena& arena)
+    : size_(cfg.heap_bytes),
+      superpage_bytes_(cfg.superpage_bytes()),
+      perms_(cfg.pages(), Perm::kInvalid) {
+  // Reserve the whole range, then map superpage chunks over it.
+  void* reserved = mmap(nullptr, size_, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  CSM_CHECK(reserved != MAP_FAILED);
+  base_ = static_cast<std::byte*>(reserved);
+  for (std::size_t off = 0; off < size_; off += superpage_bytes_) {
+    const std::size_t len = std::min(superpage_bytes_, size_ - off);
+    void* p = mmap(base_ + off, len, PROT_NONE, MAP_SHARED | MAP_FIXED, arena.fd(),
+                   static_cast<off_t>(off));
+    CSM_CHECK(p == base_ + off);
+  }
+}
+
+View::~View() {
+  if (base_ != nullptr) {
+    munmap(base_, size_);
+  }
+}
+
+void View::Protect(PageId page, Perm perm) {
+  CSM_CHECK(page < perms_.size());
+  CSM_CHECK(mprotect(base_ + static_cast<std::size_t>(page) * kPageBytes, kPageBytes,
+                     PermToProt(perm)) == 0);
+  perms_[page] = perm;
+}
+
+void View::RemapSuperpage(std::size_t superpage, const Arena& arena) {
+  const std::size_t off = superpage * superpage_bytes_;
+  CSM_CHECK(off < size_);
+  const std::size_t len = std::min(superpage_bytes_, size_ - off);
+  void* p = mmap(base_ + off, len, PROT_NONE, MAP_SHARED | MAP_FIXED, arena.fd(),
+                 static_cast<off_t>(off));
+  CSM_CHECK(p == base_ + off);
+  const PageId first = static_cast<PageId>(off / kPageBytes);
+  const PageId last = static_cast<PageId>((off + len) / kPageBytes);
+  for (PageId page = first; page < last; ++page) {
+    perms_[page] = Perm::kInvalid;
+  }
+}
+
+}  // namespace cashmere

@@ -1,0 +1,59 @@
+// A View is one processor's private mapping of the shared heap. Each
+// (processor) view maps the heap superpage by superpage, normally all from
+// the processor's unit arena; the home-node optimization maps some
+// superpages from another unit's arena (the master frames). Per-view
+// mprotect gives per-processor access permissions over shared frames — the
+// same mechanism Cashmere used via per-process page tables on Digital Unix.
+#ifndef CASHMERE_VM_VIEW_HPP_
+#define CASHMERE_VM_VIEW_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cashmere/common/config.hpp"
+#include "cashmere/common/types.hpp"
+
+namespace cashmere {
+
+class Arena;
+
+class View {
+ public:
+  // Reserves address space for `heap_bytes` and maps every superpage from
+  // `arena` with no access permissions.
+  View(const Config& cfg, const Arena& arena);
+  ~View();
+  View(const View&) = delete;
+  View& operator=(const View&) = delete;
+
+  std::byte* base() const { return base_; }
+  std::size_t size() const { return size_; }
+  bool Contains(const void* addr) const {
+    const auto* p = static_cast<const std::byte*>(addr);
+    return p >= base_ && p < base_ + size_;
+  }
+  PageId PageOfAddr(const void* addr) const {
+    return static_cast<PageId>((static_cast<const std::byte*>(addr) - base_) / kPageBytes);
+  }
+
+  // Changes this view's protection for one page.
+  void Protect(PageId page, Perm perm);
+  Perm PermOf(PageId page) const { return perms_[page]; }
+
+  // Replaces one superpage's backing arena (home-node optimization after a
+  // first-touch relocation). The new mapping starts with no access.
+  void RemapSuperpage(std::size_t superpage, const Arena& arena);
+
+ private:
+  std::size_t size_;
+  std::size_t superpage_bytes_;
+  std::byte* base_ = nullptr;
+  std::vector<Perm> perms_;
+};
+
+int PermToProt(Perm perm);
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_VM_VIEW_HPP_

@@ -1,0 +1,75 @@
+// Application-level verification: every benchmark app, run tiny, against
+// its sequential reference, across a matrix of protocols and cluster
+// shapes. These are the primary end-to-end correctness checks for the
+// coherence protocols.
+#include <gtest/gtest.h>
+
+#include "cashmere/apps/app.hpp"
+
+namespace cashmere {
+namespace {
+
+struct Case {
+  AppKind kind;
+  ProtocolVariant protocol;
+  int nodes;
+  int ppn;
+};
+
+std::string CaseName(const testing::TestParamInfo<Case>& info) {
+  const Case& c = info.param;
+  std::string name = std::string(AppName(c.kind)) + "_" + ProtocolVariantName(c.protocol) +
+                     "_" + std::to_string(c.nodes) + "x" + std::to_string(c.ppn);
+  for (char& ch : name) {
+    if (!std::isalnum(static_cast<unsigned char>(ch))) {
+      ch = '_';
+    }
+  }
+  return name;
+}
+
+class AppMatrixTest : public testing::TestWithParam<Case> {};
+
+TEST_P(AppMatrixTest, VerifiesAgainstSequential) {
+  const Case& c = GetParam();
+  Config cfg;
+  cfg.protocol = c.protocol;
+  cfg.nodes = c.nodes;
+  cfg.procs_per_node = c.ppn;
+  cfg.time_scale = 10.0;
+  const AppRunResult result = RunApp(c.kind, cfg, kSizeTest);
+  EXPECT_TRUE(result.verified)
+      << AppName(c.kind) << " parallel=" << result.parallel_checksum
+      << " sequential=" << result.sequential_checksum;
+  EXPECT_GT(result.report.exec_time_ns, 0u);
+}
+
+std::vector<Case> AllAppsTwoLevel() {
+  std::vector<Case> cases;
+  for (int a = 0; a < kNumApps; ++a) {
+    cases.push_back({static_cast<AppKind>(a), ProtocolVariant::kTwoLevel, 2, 2});
+  }
+  return cases;
+}
+
+std::vector<Case> ProtocolSweep() {
+  // Every protocol variant over a pair of representative apps: one
+  // barrier-based (SOR) and one lock-based with false sharing (Water).
+  std::vector<Case> cases;
+  for (const auto v :
+       {ProtocolVariant::kTwoLevel, ProtocolVariant::kTwoLevelShootdown,
+        ProtocolVariant::kTwoLevelGlobalLock, ProtocolVariant::kOneLevelDiff,
+        ProtocolVariant::kOneLevelWriteDouble}) {
+    cases.push_back({AppKind::kSor, v, 2, 2});
+    cases.push_back({AppKind::kWater, v, 2, 2});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppMatrixTest, testing::ValuesIn(AllAppsTwoLevel()),
+                         CaseName);
+INSTANTIATE_TEST_SUITE_P(Protocols, AppMatrixTest, testing::ValuesIn(ProtocolSweep()),
+                         CaseName);
+
+}  // namespace
+}  // namespace cashmere

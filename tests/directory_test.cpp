@@ -1,0 +1,167 @@
+// Unit tests for the lock-free global directory and the home table.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cashmere/mc/hub.hpp"
+#include "cashmere/protocol/directory.hpp"
+#include "cashmere/protocol/home_table.hpp"
+
+namespace cashmere {
+namespace {
+
+Config DirConfig(int nodes = 4, int ppn = 2) {
+  Config cfg;
+  cfg.nodes = nodes;
+  cfg.procs_per_node = ppn;
+  cfg.heap_bytes = 32 * kPageBytes;
+  cfg.superpage_pages = 8;
+  return cfg;
+}
+
+TEST(DirWordTest, PackUnpackRoundTrip) {
+  for (const Perm perm : {Perm::kInvalid, Perm::kRead, Perm::kReadWrite}) {
+    for (const bool excl : {false, true}) {
+      for (const ProcId p : {0, 5, 31}) {
+        DirWord w;
+        w.perm = perm;
+        w.exclusive = excl;
+        w.excl_proc = p;
+        const DirWord u = DirWord::Unpack(w.Pack());
+        EXPECT_EQ(u.perm, perm);
+        EXPECT_EQ(u.exclusive, excl);
+        EXPECT_EQ(u.excl_proc, p);
+      }
+    }
+  }
+}
+
+TEST(GlobalDirectoryTest, WriteAndReadPerUnitWords) {
+  Config cfg = DirConfig();
+  McHub hub(cfg.units());
+  GlobalDirectory dir(cfg, hub);
+  DirWord w;
+  w.perm = Perm::kReadWrite;
+  dir.Write(3, 1, w);
+  EXPECT_EQ(dir.Read(3, 1).perm, Perm::kReadWrite);
+  EXPECT_EQ(dir.Read(3, 0).perm, Perm::kInvalid);
+  EXPECT_EQ(dir.Read(2, 1).perm, Perm::kInvalid);
+}
+
+TEST(GlobalDirectoryTest, SharersAndExclusiveQueries) {
+  Config cfg = DirConfig();
+  McHub hub(cfg.units());
+  GlobalDirectory dir(cfg, hub);
+  DirWord ro;
+  ro.perm = Perm::kRead;
+  DirWord ex;
+  ex.perm = Perm::kReadWrite;
+  ex.exclusive = true;
+  ex.excl_proc = 5;
+  dir.Write(0, 1, ro);
+  dir.Write(0, 2, ex);
+
+  EXPECT_TRUE(dir.AnyOtherSharer(0, 0));
+  EXPECT_TRUE(dir.AnyOtherSharer(0, 1));
+  EXPECT_FALSE(dir.AnyOtherSharer(5, 0));
+  EXPECT_EQ(dir.ExclusiveHolder(0), 2);
+  EXPECT_EQ(dir.ExclusiveHolder(1), -1);
+
+  UnitId sharers[kMaxProcs];
+  const int n = dir.Sharers(0, /*exclude=*/1, sharers);
+  ASSERT_EQ(n, 1);
+  EXPECT_EQ(sharers[0], 2);
+}
+
+TEST(GlobalDirectoryTest, ConcurrentExclusiveClaimsAtMostOneWinner) {
+  // The WriteAndSnapshot arbitration: of two units claiming exclusivity,
+  // at most one can see a snapshot with no other sharer.
+  for (int round = 0; round < 100; ++round) {
+    Config cfg = DirConfig();
+    McHub hub(cfg.units());
+    GlobalDirectory dir(cfg, hub);
+    std::atomic<int> winners{0};
+    std::thread t1([&] {
+      DirWord claim;
+      claim.perm = Perm::kReadWrite;
+      claim.exclusive = true;
+      std::uint32_t snap[kMaxProcs];
+      dir.WriteAndSnapshot(9, 0, claim, snap);
+      bool alone = true;
+      for (int u = 1; u < cfg.units(); ++u) {
+        const DirWord w = DirWord::Unpack(snap[u]);
+        if (w.perm != Perm::kInvalid || w.exclusive) {
+          alone = false;
+        }
+      }
+      if (alone) {
+        winners.fetch_add(1);
+      }
+    });
+    std::thread t2([&] {
+      DirWord claim;
+      claim.perm = Perm::kReadWrite;
+      claim.exclusive = true;
+      std::uint32_t snap[kMaxProcs];
+      dir.WriteAndSnapshot(9, 1, claim, snap);
+      bool alone = true;
+      for (int u = 0; u < cfg.units(); ++u) {
+        if (u == 1) {
+          continue;
+        }
+        const DirWord w = DirWord::Unpack(snap[u]);
+        if (w.perm != Perm::kInvalid || w.exclusive) {
+          alone = false;
+        }
+      }
+      if (alone) {
+        winners.fetch_add(1);
+      }
+    });
+    t1.join();
+    t2.join();
+    EXPECT_LE(winners.load(), 1);
+  }
+}
+
+TEST(HomeTableTest, RoundRobinInitialAssignment) {
+  Config cfg = DirConfig(4, 1);  // 4 units
+  HomeTable homes(cfg);
+  EXPECT_EQ(homes.superpages(), 4u);
+  EXPECT_EQ(homes.HomeOfSuperpage(0), 0);
+  EXPECT_EQ(homes.HomeOfSuperpage(1), 1);
+  EXPECT_EQ(homes.HomeOfSuperpage(3), 3);
+  // Pages inherit the superpage's home.
+  EXPECT_EQ(homes.HomeOfPage(0), 0);
+  EXPECT_EQ(homes.HomeOfPage(7), 0);
+  EXPECT_EQ(homes.HomeOfPage(8), 1);
+}
+
+TEST(HomeTableTest, RelocationIsSticky) {
+  Config cfg = DirConfig(4, 1);
+  HomeTable homes(cfg);
+  EXPECT_TRUE(homes.IsDefault(2));
+  homes.GlobalLock().Lock();
+  homes.Relocate(2, 3);
+  homes.GlobalLock().Unlock();
+  EXPECT_FALSE(homes.IsDefault(2));
+  EXPECT_EQ(homes.HomeOfSuperpage(2), 3);
+  // SealDefault keeps the round-robin home but forbids future relocation.
+  homes.GlobalLock().Lock();
+  homes.SealDefault(1);
+  homes.GlobalLock().Unlock();
+  EXPECT_FALSE(homes.IsDefault(1));
+  EXPECT_EQ(homes.HomeOfSuperpage(1), 1);
+}
+
+TEST(HomeTableTest, FirstTouchGate) {
+  Config cfg = DirConfig();
+  HomeTable homes(cfg);
+  EXPECT_FALSE(homes.FirstTouchEnabled());
+  homes.EnableFirstTouch();
+  EXPECT_TRUE(homes.FirstTouchEnabled());
+}
+
+}  // namespace
+}  // namespace cashmere

@@ -1,0 +1,48 @@
+// Shared-heap allocator tests, including exhaustion behaviour.
+#include <gtest/gtest.h>
+
+#include "cashmere/runtime/heap.hpp"
+
+namespace cashmere {
+namespace {
+
+TEST(SharedHeapTest, SequentialAllocationsDoNotOverlap) {
+  SharedHeap heap(1 << 20);
+  const GlobalAddr a = heap.Alloc(100);
+  const GlobalAddr b = heap.Alloc(100);
+  const GlobalAddr c = heap.Alloc(1);
+  EXPECT_GE(b, a + 100);
+  EXPECT_GE(c, b + 100);
+  EXPECT_EQ(heap.capacity(), 1u << 20);
+  EXPECT_GE(heap.used(), 201u);
+}
+
+TEST(SharedHeapTest, AlignmentIsHonoured) {
+  SharedHeap heap(1 << 20);
+  heap.Alloc(3);
+  EXPECT_EQ(heap.Alloc(8, 8) % 8, 0u);
+  heap.Alloc(5);
+  EXPECT_EQ(heap.Alloc(16, 256) % 256, 0u);
+  EXPECT_EQ(heap.AllocPageAligned(10) % kPageBytes, 0u);
+}
+
+TEST(SharedHeapTest, FillsToCapacityExactly) {
+  SharedHeap heap(4096);
+  const GlobalAddr a = heap.Alloc(4096, 1);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(heap.used(), 4096u);
+}
+
+TEST(SharedHeapDeathTest, ExhaustionAborts) {
+  SharedHeap heap(4096);
+  heap.Alloc(4000, 1);
+  EXPECT_DEATH(heap.Alloc(200, 1), "shared heap exhausted");
+}
+
+TEST(SharedHeapDeathTest, BadAlignmentAborts) {
+  SharedHeap heap(4096);
+  EXPECT_DEATH(heap.Alloc(8, 3), "CHECK");
+}
+
+}  // namespace
+}  // namespace cashmere

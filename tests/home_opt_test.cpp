@@ -1,0 +1,140 @@
+// Home-node optimization edge cases, including its interaction with
+// first-touch relocation (the view-remapping path).
+#include <gtest/gtest.h>
+
+#include "cashmere/runtime/runtime.hpp"
+
+namespace cashmere {
+namespace {
+
+Config HoConfig(bool first_touch) {
+  Config cfg;
+  cfg.protocol = ProtocolVariant::kOneLevelDiff;
+  cfg.home_opt = true;
+  cfg.nodes = 2;
+  cfg.procs_per_node = 2;
+  cfg.heap_bytes = 64 * kPageBytes;
+  cfg.superpage_pages = 4;
+  cfg.time_scale = 3.0;
+  cfg.first_touch = first_touch;
+  return cfg;
+}
+
+TEST(HomeOptTest, NodeMatesShareTheMasterFrame) {
+  Runtime rt(HoConfig(false));
+  // Superpage 0 homed at unit 0 (processor 0); processor 1 shares its node.
+  const GlobalAddr a = 0;
+  rt.Run([&](Context& ctx) {
+    int* p = ctx.Ptr<int>(a);
+    if (ctx.proc() == 0) {
+      p[0] = 123;
+    }
+    ctx.Barrier(0);
+    if (ctx.proc() == 1) {
+      EXPECT_EQ(p[0], 123);  // read through the shared master frame
+      p[1] = 124;            // and writes go directly to the master
+    }
+    ctx.Barrier(0);
+    EXPECT_EQ(p[1], 124);
+    ctx.Barrier(0);
+  });
+  EXPECT_EQ(rt.Read<int>(0), 123);
+  EXPECT_EQ(rt.Read<int>(4), 124);
+  // Neither master-side processor needed a page transfer; the remote node's
+  // reads did.
+  EXPECT_GT(rt.report().total.Get(Counter::kPageTransfers), 0u);
+}
+
+TEST(HomeOptTest, RemoteNodeStillUsesTwinsAndNotices) {
+  Runtime rt(HoConfig(false));
+  const GlobalAddr a = 0;  // homed at unit 0 (node 0)
+  constexpr int kRounds = 5;
+  rt.Run([&](Context& ctx) {
+    int* p = ctx.Ptr<int>(a);
+    for (int r = 1; r <= kRounds; ++r) {
+      if (ctx.proc() == 2) {  // node 1: not master-side
+        p[64] = r;
+      }
+      ctx.Barrier(0);
+      EXPECT_EQ(p[64], r);
+      ctx.Barrier(0);
+    }
+  });
+  EXPECT_GT(rt.report().total.Get(Counter::kTwinCreations), 0u);
+  EXPECT_GT(rt.report().total.Get(Counter::kWriteNotices), 0u);
+}
+
+TEST(HomeOptTest, RelocationRemapsMasterSharingViews) {
+  // Superpage 1 (pages 4..7) is homed at unit 1 (processor 1, node 0).
+  // After first touch by processor 2 (node 1), the home moves to unit 2 and
+  // node 1's processors become the master-sharing side.
+  Runtime rt(HoConfig(true));
+  const GlobalAddr a = 4 * kPageBytes;
+  rt.Run([&](Context& ctx) {
+    ctx.InitDone();
+    int* p = ctx.Ptr<int>(a);
+    if (ctx.proc() == 2) {
+      p[0] = 55;
+    }
+    ctx.Barrier(0);
+    EXPECT_EQ(p[0], 55);
+    if (ctx.proc() == 3) {
+      p[1] = 56;  // node-mate of the new home: writes the master directly
+    }
+    ctx.Barrier(0);
+    EXPECT_EQ(p[1], 56);
+    ctx.Barrier(0);
+  });
+  EXPECT_EQ(rt.homes().HomeOfSuperpage(1), 2);
+  EXPECT_EQ(rt.Read<int>(a), 55);
+  EXPECT_EQ(rt.Read<int>(a + 4), 56);
+}
+
+TEST(HomeOptTest, DataWrittenBeforeRelocationSurvivesRemap) {
+  Runtime rt(HoConfig(true));
+  const GlobalAddr a = 8 * kPageBytes;  // superpage 2, homed at unit 2
+  rt.Run([&](Context& ctx) {
+    int* p = ctx.Ptr<int>(a);
+    if (ctx.proc() == 0) {
+      for (int i = 0; i < 1024; ++i) {
+        p[i] = 7000 + i;
+      }
+    }
+    ctx.Barrier(0);
+    ctx.InitDone();
+    if (ctx.proc() == 1) {
+      // First touch after init: the superpage relocates to unit 1 and every
+      // affected view is remapped; the data must survive.
+      long sum = 0;
+      for (int i = 0; i < 1024; ++i) {
+        sum += p[i];
+      }
+      EXPECT_EQ(sum, 7000L * 1024 + 1023L * 1024 / 2);
+    }
+    ctx.Barrier(0);
+    EXPECT_EQ(p[1023], 7000 + 1023);
+    ctx.Barrier(0);
+  });
+  EXPECT_EQ(rt.Read<int>(a + 1023 * 4), 7000 + 1023);
+}
+
+TEST(HomeOptTest, TwoLevelIgnoresHomeOptFlag) {
+  // home_opt applies to the one-level protocols only; setting it on 2L must
+  // be harmless (nodes already share frames in hardware).
+  Config cfg = HoConfig(false);
+  cfg.protocol = ProtocolVariant::kTwoLevel;
+  Runtime rt(cfg);
+  const GlobalAddr a = 0;
+  rt.Run([&](Context& ctx) {
+    int* p = ctx.Ptr<int>(a);
+    p[ctx.proc() * 32] = ctx.proc() + 1;
+    ctx.Barrier(0);
+    for (int q = 0; q < ctx.total_procs(); ++q) {
+      EXPECT_EQ(p[q * 32], q + 1);
+    }
+    ctx.Barrier(0);
+  });
+}
+
+}  // namespace
+}  // namespace cashmere

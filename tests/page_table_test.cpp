@@ -1,0 +1,129 @@
+// Unit tests for per-unit protocol state: second-level directory fields,
+// logical clocks, dirty/NLE lists.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "cashmere/protocol/page_table.hpp"
+
+namespace cashmere {
+namespace {
+
+Config PtConfig() {
+  Config cfg;
+  cfg.nodes = 2;
+  cfg.procs_per_node = 4;
+  cfg.heap_bytes = 16 * kPageBytes;
+  return cfg;
+}
+
+TEST(PageLocalTest, LoosestPermAcrossProcessors) {
+  PageLocal pl;
+  EXPECT_EQ(pl.Loosest(4), Perm::kInvalid);
+  pl.SetPermOfLocal(2, Perm::kRead);
+  EXPECT_EQ(pl.Loosest(4), Perm::kRead);
+  pl.SetPermOfLocal(0, Perm::kReadWrite);
+  EXPECT_EQ(pl.Loosest(4), Perm::kReadWrite);
+  EXPECT_EQ(pl.WriterCount(4), 1);
+  pl.SetPermOfLocal(3, Perm::kReadWrite);
+  EXPECT_EQ(pl.WriterCount(4), 2);
+}
+
+TEST(UnitStateTest, LogicalClockIsMonotonic) {
+  Config cfg = PtConfig();
+  UnitState us(cfg, 0);
+  const std::uint64_t t1 = us.Tick();
+  const std::uint64_t t2 = us.Tick();
+  EXPECT_GT(t2, t1);
+  EXPECT_GE(us.Now(), t2);
+}
+
+TEST(UnitStateTest, ConcurrentTicksAreUnique) {
+  Config cfg = PtConfig();
+  UnitState us(cfg, 0);
+  constexpr int kPerThread = 5000;
+  std::vector<std::vector<std::uint64_t>> seen(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        seen[t].push_back(us.Tick());
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  std::set<std::uint64_t> all;
+  for (const auto& v : seen) {
+    all.insert(v.begin(), v.end());
+  }
+  EXPECT_EQ(all.size(), 4u * kPerThread);
+}
+
+TEST(PageListTest, AddDeduplicatesAndTakeAllClears) {
+  PageList list(64);
+  EXPECT_TRUE(list.Add(4));
+  EXPECT_FALSE(list.Add(4));
+  EXPECT_TRUE(list.Add(9));
+  EXPECT_TRUE(list.Contains(4));
+  EXPECT_FALSE(list.Contains(5));
+  std::vector<PageId> got;
+  list.TakeAll(got);
+  EXPECT_EQ(got, (std::vector<PageId>{4, 9}));
+  EXPECT_FALSE(list.Contains(4));
+  EXPECT_TRUE(list.Empty());
+  EXPECT_TRUE(list.Add(4));  // usable again
+}
+
+TEST(PageListTest, ConcurrentAddersNeverLoseEntries) {
+  PageList list(1024);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (PageId p = static_cast<PageId>(t); p < 1024; p += 4) {
+        list.Add(p);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  std::vector<PageId> got;
+  list.TakeAll(got);
+  EXPECT_EQ(got.size(), 1024u);
+}
+
+TEST(UnitStateTest, PerProcessorListsAreIndependent) {
+  Config cfg = PtConfig();
+  UnitState us(cfg, 0);
+  us.DirtyList(0).Add(1);
+  us.DirtyList(1).Add(2);
+  us.NleList(0).Add(3);
+  std::vector<PageId> d0;
+  us.DirtyList(0).TakeAll(d0);
+  EXPECT_EQ(d0, (std::vector<PageId>{1}));
+  std::vector<PageId> d1;
+  us.DirtyList(1).TakeAll(d1);
+  EXPECT_EQ(d1, (std::vector<PageId>{2}));
+  std::vector<PageId> n0;
+  us.NleList(0).TakeAll(n0);
+  EXPECT_EQ(n0, (std::vector<PageId>{3}));
+}
+
+TEST(UnitStateTest, TimestampFieldsStartAtZero) {
+  Config cfg = PtConfig();
+  UnitState us(cfg, 1);
+  PageLocal& pl = us.Page(5);
+  EXPECT_EQ(pl.update_ts.load(), 0u);
+  EXPECT_EQ(pl.wn_ts.load(), 0u);
+  EXPECT_EQ(pl.flush_ts.load(), 0u);
+  EXPECT_FALSE(pl.ever_valid);
+  EXPECT_FALSE(pl.twin_valid);
+  EXPECT_FALSE(pl.exclusive);
+}
+
+}  // namespace
+}  // namespace cashmere

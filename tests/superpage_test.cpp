@@ -1,0 +1,107 @@
+// Superpage semantics (Section 2.3): one Memory Channel mapping per
+// superpage, homes assigned per superpage, coherence still per page.
+#include <gtest/gtest.h>
+
+#include "cashmere/runtime/runtime.hpp"
+
+namespace cashmere {
+namespace {
+
+Config SpConfig(std::size_t superpage_pages, int nodes = 4, int ppn = 1) {
+  Config cfg;
+  cfg.protocol = ProtocolVariant::kTwoLevel;
+  cfg.nodes = nodes;
+  cfg.procs_per_node = ppn;
+  cfg.heap_bytes = 64 * kPageBytes;
+  cfg.superpage_pages = superpage_pages;
+  cfg.time_scale = 3.0;
+  cfg.first_touch = false;
+  return cfg;
+}
+
+TEST(SuperpageTest, HomesAssignedPerSuperpage) {
+  Runtime rt(SpConfig(8));
+  // 64 pages / 8 per superpage = 8 superpages over 4 units, round-robin.
+  for (PageId page = 0; page < 64; ++page) {
+    EXPECT_EQ(rt.homes().HomeOfPage(page), static_cast<UnitId>((page / 8) % 4));
+  }
+}
+
+TEST(SuperpageTest, CoherenceGranularityIsStillOnePage) {
+  // Two processors write different pages of the same superpage; their
+  // updates are independent (separate faults, transfers, write notices).
+  Runtime rt(SpConfig(8, 2, 1));
+  const GlobalAddr a = 0;  // superpage 0: pages 0..7, home unit 0
+  rt.Run([&](Context& ctx) {
+    int* p = ctx.Ptr<int>(a);
+    if (ctx.proc() == 1) {
+      p[0] = 11;                 // page 0
+      p[3 * 2048] = 33;          // page 3
+    }
+    ctx.Barrier(0);
+    EXPECT_EQ(p[0], 11);
+    EXPECT_EQ(p[3 * 2048], 33);
+    ctx.Barrier(0);
+  });
+  // Processor 0 (home) reads both pages in place; processor 1 held them
+  // exclusively and was broken per page.
+  EXPECT_EQ(rt.Read<int>(0), 11);
+}
+
+TEST(SuperpageTest, SuperpageSizeOneBehavesLikePlainPages) {
+  Runtime rt(SpConfig(1));
+  for (PageId page = 0; page < 8; ++page) {
+    EXPECT_EQ(rt.homes().HomeOfPage(page), static_cast<UnitId>(page % 4));
+  }
+  const GlobalAddr a = 0;
+  rt.Run([&](Context& ctx) {
+    int* p = ctx.Ptr<int>(a);
+    p[ctx.proc() * 2048] = ctx.proc() + 1;  // one page each
+    ctx.Barrier(0);
+    for (int q = 0; q < ctx.total_procs(); ++q) {
+      EXPECT_EQ(p[q * 2048], q + 1);
+    }
+    ctx.Barrier(0);
+  });
+}
+
+TEST(SuperpageTest, OddHeapSizeLastSuperpageIsPartial) {
+  Config cfg = SpConfig(16);
+  cfg.heap_bytes = 36 * kPageBytes;  // 16 + 16 + 4 pages
+  Runtime rt(cfg);
+  EXPECT_EQ(rt.homes().superpages(), 3u);
+  const GlobalAddr last = 35 * kPageBytes;
+  rt.Run([&](Context& ctx) {
+    if (ctx.proc() == 1) {
+      *ctx.Ptr<int>(last) = 42;
+    }
+    ctx.Barrier(0);
+    EXPECT_EQ(*ctx.Ptr<int>(last), 42);
+    ctx.Barrier(0);
+  });
+  EXPECT_EQ(rt.Read<int>(last), 42);
+}
+
+TEST(SuperpageTest, FirstTouchRelocatesWholeSuperpageOnly) {
+  Config cfg = SpConfig(8);
+  cfg.first_touch = true;
+  Runtime rt(cfg);
+  // Superpage 1: pages 8..15, homed at unit 1.
+  const GlobalAddr a = 8 * kPageBytes;
+  rt.Run([&](Context& ctx) {
+    ctx.InitDone();
+    if (ctx.proc() == 2) {
+      ctx.Ptr<int>(a)[0] = 1;  // touch only page 8
+    }
+    ctx.Barrier(0);
+  });
+  const UnitId home = rt.homes().HomeOfSuperpage(1);
+  for (PageId page = 8; page < 16; ++page) {
+    EXPECT_EQ(rt.homes().HomeOfPage(page), home) << "superpage split";
+  }
+  // Other superpages unaffected.
+  EXPECT_EQ(rt.homes().HomeOfSuperpage(0), 0);
+}
+
+}  // namespace
+}  // namespace cashmere

@@ -1,0 +1,177 @@
+// Tests for the distributed synchronization primitives, exercised through
+// the full runtime (locks need consistency hooks and contexts).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "cashmere/runtime/runtime.hpp"
+
+namespace cashmere {
+namespace {
+
+Config SyncConfig(int nodes, int ppn, ProtocolVariant v = ProtocolVariant::kTwoLevel) {
+  Config cfg;
+  cfg.protocol = v;
+  cfg.nodes = nodes;
+  cfg.procs_per_node = ppn;
+  cfg.heap_bytes = 512 * 1024;
+  cfg.time_scale = 5.0;
+  cfg.first_touch = false;
+  return cfg;
+}
+
+TEST(ClusterLockTest, MutualExclusionAcrossNodes) {
+  Runtime rt(SyncConfig(4, 2));
+  const GlobalAddr counter = rt.AllocArray<long>(1);
+  const GlobalAddr inside = rt.AllocArray<long>(1);
+  std::atomic<int> violations{0};
+  rt.Run([&](Context& ctx) {
+    for (int i = 0; i < 20; ++i) {
+      ctx.LockAcquire(0);
+      long* in = ctx.Ptr<long>(inside);
+      if (*in != 0) {
+        violations.fetch_add(1);
+      }
+      *in = 1;
+      long* c = ctx.Ptr<long>(counter);
+      *c = *c + 1;
+      *in = 0;
+      ctx.LockRelease(0);
+      ctx.Poll();
+    }
+  });
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(rt.Read<long>(counter), 20L * 8);
+}
+
+TEST(ClusterLockTest, IndependentLocksDoNotInterfere) {
+  Runtime rt(SyncConfig(2, 2));
+  const GlobalAddr a = rt.heap().AllocPageAligned(2 * kPageBytes);
+  rt.Run([&](Context& ctx) {
+    const int lock_id = ctx.proc() % 2;
+    const GlobalAddr mine = a + static_cast<GlobalAddr>(lock_id) * kPageBytes;
+    for (int i = 0; i < 10; ++i) {
+      ctx.LockAcquire(lock_id);
+      long* p = ctx.Ptr<long>(mine);
+      *p = *p + 1;
+      ctx.LockRelease(lock_id);
+      ctx.Poll();
+    }
+  });
+  EXPECT_EQ(rt.Read<long>(a), 20L);
+  EXPECT_EQ(rt.Read<long>(a + kPageBytes), 20L);
+}
+
+TEST(ClusterLockTest, VirtualTimeChainsThroughLock) {
+  Runtime rt(SyncConfig(2, 1));
+  const GlobalAddr a = rt.AllocArray<long>(1);
+  rt.Run([&](Context& ctx) {
+    for (int i = 0; i < 5; ++i) {
+      ctx.LockAcquire(0);
+      long* p = ctx.Ptr<long>(a);
+      *p = *p + 1;
+      ctx.LockRelease(0);
+      ctx.Poll();
+    }
+  });
+  // 10 sequential critical sections with lock transfer costs: execution
+  // time must exceed 10 lock acquires' worth of protocol time.
+  EXPECT_GT(rt.report().exec_time_ns,
+            10 * rt.config().costs.LockAcquireNs(true));
+}
+
+TEST(ClusterBarrierTest, AllArriveBeforeAnyDeparts) {
+  Runtime rt(SyncConfig(4, 2));
+  std::atomic<int> arrived{0};
+  std::atomic<int> violations{0};
+  rt.Run([&](Context& ctx) {
+    for (int round = 0; round < 10; ++round) {
+      arrived.fetch_add(1);
+      ctx.Barrier(0);
+      if (arrived.load() % rt.config().total_procs() != 0) {
+        violations.fetch_add(1);
+      }
+      ctx.Barrier(1);
+    }
+  });
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(rt.report().total.Get(Counter::kBarriers), 20u);
+}
+
+TEST(ClusterBarrierTest, ManyEpisodesReuseEpisodeSlots) {
+  Runtime rt(SyncConfig(2, 2));
+  std::atomic<long> sum{0};
+  rt.Run([&](Context& ctx) {
+    for (int round = 0; round < 100; ++round) {
+      sum.fetch_add(1);
+      ctx.Barrier(0);
+    }
+  });
+  EXPECT_EQ(sum.load(), 400);
+}
+
+TEST(ClusterBarrierTest, ReconcilesVirtualClocksToMax) {
+  Runtime rt(SyncConfig(2, 1));
+  std::vector<VirtTime> after(2, 0);
+  rt.Run([&](Context& ctx) {
+    if (ctx.proc() == 0) {
+      // Give processor 0 a large artificial head start in virtual time.
+      ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol, 50'000'000);
+    }
+    ctx.Barrier(0);
+    after[static_cast<std::size_t>(ctx.proc())] = ctx.clock().now();
+  });
+  EXPECT_GE(after[1], 50'000'000u);  // slow processor pulled forward
+}
+
+TEST(ClusterFlagTest, MonotonicValuesReleaseWaiters) {
+  Runtime rt(SyncConfig(2, 2));
+  const GlobalAddr data = rt.AllocArray<int>(64);
+  rt.Run([&](Context& ctx) {
+    int* p = ctx.Ptr<int>(data);
+    if (ctx.proc() == 0) {
+      for (int step = 1; step <= 8; ++step) {
+        p[step] = step * step;
+        ctx.FlagSet(0, static_cast<std::uint64_t>(step));
+      }
+    } else {
+      for (int step = 1; step <= 8; ++step) {
+        ctx.FlagWaitGe(0, static_cast<std::uint64_t>(step));
+        EXPECT_EQ(p[step], step * step);
+      }
+    }
+  });
+  EXPECT_GT(rt.report().total.Get(Counter::kFlagAcquires), 0u);
+}
+
+TEST(ClusterFlagTest, ChainOfFlagsOrdersPipelineStages) {
+  Runtime rt(SyncConfig(4, 1));
+  const GlobalAddr data = rt.AllocArray<int>(16);
+  rt.Run([&](Context& ctx) {
+    int* p = ctx.Ptr<int>(data);
+    const int me = ctx.proc();
+    if (me == 0) {
+      p[0] = 1;
+      ctx.FlagSet(0, 1);
+    } else {
+      ctx.FlagWaitGe(me - 1, 1);
+      p[me] = p[me - 1] + 1;
+      ctx.FlagSet(me, 1);
+    }
+    ctx.FlagWaitGe(3, 1);
+    EXPECT_EQ(p[3], 4);
+  });
+}
+
+TEST(SyncTest, OneLevelLockCostsDiffer) {
+  // Table 1: 11 us for one-level lock acquire vs 19 us for two-level.
+  Runtime rt2(SyncConfig(2, 1, ProtocolVariant::kTwoLevel));
+  Runtime rt1(SyncConfig(2, 1, ProtocolVariant::kOneLevelDiff));
+  EXPECT_EQ(rt2.config().costs.LockAcquireNs(rt2.config().two_level()),
+            CostModel::UsToNs(19.0));
+  EXPECT_EQ(rt1.config().costs.LockAcquireNs(rt1.config().two_level()),
+            CostModel::UsToNs(11.0));
+}
+
+}  // namespace
+}  // namespace cashmere

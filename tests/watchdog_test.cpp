@@ -1,0 +1,46 @@
+// Deadlock watchdog: a program that spins on shared memory without any
+// synchronization or polling never observes remote updates under release
+// consistency (its cached copy is never invalidated); the watchdog must
+// detect the lack of progress and abort with a diagnostic.
+#include <gtest/gtest.h>
+
+#include "cashmere/runtime/runtime.hpp"
+
+namespace cashmere {
+namespace {
+
+TEST(WatchdogDeathTest, SpinningWithoutSynchronizationAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Config cfg;
+        cfg.nodes = 2;
+        cfg.procs_per_node = 1;
+        cfg.heap_bytes = 64 * 1024;
+        cfg.time_scale = 3.0;
+        cfg.watchdog_seconds = 2.0;  // fast abort for the test
+        Runtime rt(cfg);
+        const GlobalAddr a = rt.AllocArray<int>(16);
+        rt.Run([&](Context& ctx) {
+          volatile int* p = ctx.Ptr<volatile int>(a);
+          if (ctx.proc() == 0) {
+            ctx.Barrier(0);
+            p[0] = 1;  // never released: no write notice is ever sent
+            ctx.Barrier(1);
+          } else {
+            (void)p[0];  // warm the local copy (value 0) before the write
+            ctx.Barrier(0);
+            // BUG (deliberate): spinning on a DSM location without an
+            // acquire. The cached copy is never invalidated, so this loop
+            // cannot terminate; the watchdog must fire.
+            while (p[0] == 0) {
+            }
+            ctx.Barrier(1);
+          }
+        });
+      },
+      "watchdog");
+}
+
+}  // namespace
+}  // namespace cashmere

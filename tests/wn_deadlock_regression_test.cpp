@@ -1,0 +1,72 @@
+// Regression test for the write-notice lock-order inversion (PROTOCOL.md,
+// "races this design closes" #7): write-notice distribution posts to
+// per-processor lists while holding page locks, and the list drain's
+// callbacks take page locks. If the drain held the list lock across its
+// callbacks, the two paths deadlocked (AB-BA). This test drives both paths
+// concurrently and hard; with the inversion present it deadlocks within
+// milliseconds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cashmere/common/config.hpp"
+#include "cashmere/common/spin.hpp"
+#include "cashmere/mc/hub.hpp"
+#include "cashmere/protocol/write_notice.hpp"
+
+namespace cashmere {
+namespace {
+
+TEST(WnDeadlockRegressionTest, DrainAndDistributeDoNotInvert) {
+  Config cfg;
+  cfg.nodes = 2;
+  cfg.procs_per_node = 2;
+  cfg.heap_bytes = 32 * kPageBytes;
+  McHub hub(cfg.units());
+  WriteNoticeBoard board(cfg, hub);
+  SpinLock page_locks[32];
+
+  std::atomic<bool> stop{false};
+  std::atomic<long> distributed{0};
+  std::atomic<long> drained{0};
+
+  // Thread A models write-notice distribution at an acquire: takes a page
+  // lock, then posts to processor 1's local list (the order FlushPage /
+  // DrainGlobal callbacks use).
+  std::thread distributor([&] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const PageId page = static_cast<PageId>(i % 32);
+      SpinLockGuard guard(page_locks[page]);
+      board.PostLocal(1, page);
+      distributed.fetch_add(1, std::memory_order_relaxed);
+      ++i;
+    }
+  });
+
+  // Thread B models processor 1 processing its own list: the callback
+  // takes the page lock (invalidation path).
+  std::thread drainer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      drained.fetch_add(board.DrainLocal(1, [&](PageId page) {
+        SpinLockGuard guard(page_locks[page]);
+      }),
+                        std::memory_order_relaxed);
+    }
+  });
+
+  // With the inversion, this workload wedges almost immediately; give it
+  // generous time to prove liveness instead.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  stop.store(true, std::memory_order_relaxed);
+  distributor.join();
+  drainer.join();
+  // Drain the remainder.
+  drained.fetch_add(board.DrainLocal(1, [](PageId) {}));
+  EXPECT_GT(distributed.load(), 1000);
+  EXPECT_GT(drained.load(), 0);
+}
+
+}  // namespace
+}  // namespace cashmere

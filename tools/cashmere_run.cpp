@@ -1,0 +1,130 @@
+// cashmere_run: command-line driver for the benchmark suite.
+//
+//   cashmere_run --app SOR --protocol 2L --procs 32 --ppn 4 [--size bench]
+//                [--home-opt] [--interrupts] [--no-first-touch]
+//                [--cost-scale auto|<float>] [--verbose]
+//
+// Runs one application under one configuration, verifies it against the
+// sequential reference, and prints the Table-3-style statistics, the
+// Figure-6 time breakdown and the speedup.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cashmere/apps/app.hpp"
+
+namespace {
+
+using namespace cashmere;
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --app <SOR|LU|Water|TSP|Gauss|Ilink|Em3d|Barnes>\n"
+               "          [--protocol 2L|2LS|2L-lock|1LD|1L] [--procs N] [--ppn N]\n"
+               "          [--size test|bench|large] [--home-opt] [--interrupts]\n"
+               "          [--no-first-touch] [--cost-scale auto|<float>] [--list]\n",
+               argv0);
+  std::exit(2);
+}
+
+bool ParseApp(const char* name, AppKind* out) {
+  for (int a = 0; a < kNumApps; ++a) {
+    if (std::strcmp(AppName(static_cast<AppKind>(a)), name) == 0) {
+      *out = static_cast<AppKind>(a);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseProtocol(const char* name, ProtocolVariant* out) {
+  const ProtocolVariant all[] = {
+      ProtocolVariant::kTwoLevel, ProtocolVariant::kTwoLevelShootdown,
+      ProtocolVariant::kTwoLevelGlobalLock, ProtocolVariant::kOneLevelDiff,
+      ProtocolVariant::kOneLevelWriteDouble};
+  for (const ProtocolVariant v : all) {
+    if (std::strcmp(ProtocolVariantName(v), name) == 0) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  AppKind kind = AppKind::kSor;
+  bool have_app = false;
+  Config cfg;
+  cfg.cost_scale = 0.0;  // auto
+  int procs = 32;
+  int ppn = 4;
+  int size_class = kSizeBench;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (arg == "--app") {
+      if (!ParseApp(next(), &kind)) {
+        Usage(argv[0]);
+      }
+      have_app = true;
+    } else if (arg == "--protocol") {
+      if (!ParseProtocol(next(), &cfg.protocol)) {
+        Usage(argv[0]);
+      }
+    } else if (arg == "--procs") {
+      procs = std::atoi(next());
+    } else if (arg == "--ppn") {
+      ppn = std::atoi(next());
+    } else if (arg == "--size") {
+      const std::string s = next();
+      size_class = s == "test" ? kSizeTest : s == "large" ? kSizeLarge : kSizeBench;
+    } else if (arg == "--home-opt") {
+      cfg.home_opt = true;
+    } else if (arg == "--interrupts") {
+      cfg.delivery = DeliveryMode::kInterrupt;
+    } else if (arg == "--no-first-touch") {
+      cfg.first_touch = false;
+    } else if (arg == "--cost-scale") {
+      const std::string s = next();
+      cfg.cost_scale = s == "auto" ? 0.0 : std::atof(s.c_str());
+    } else if (arg == "--list") {
+      for (int a = 0; a < kNumApps; ++a) {
+        auto app = MakeApp(static_cast<AppKind>(a), size_class);
+        std::printf("%-8s paper: %-22s ours: %s\n", app->name(), app->PaperProblemSize(),
+                    app->ProblemSize().c_str());
+      }
+      return 0;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (!have_app) {
+    Usage(argv[0]);
+  }
+  if (ppn <= 0 || procs <= 0 || procs % ppn != 0 || procs / ppn > kMaxNodes ||
+      ppn > kMaxProcsPerNode) {
+    std::fprintf(stderr, "invalid cluster shape %d:%d (max %d nodes x %d processors)\n",
+                 procs, ppn, kMaxNodes, kMaxProcsPerNode);
+    return 2;
+  }
+  cfg.nodes = procs / ppn;
+  cfg.procs_per_node = ppn;
+
+  const AppRunResult r = RunApp(kind, cfg, size_class);
+  std::printf("%s on %s  [%s]\n", AppName(kind), cfg.Describe().c_str(),
+              r.verified ? "VERIFIED" : "VERIFICATION FAILED");
+  std::printf("  sequential (Alpha-equivalent): %.4f s\n", r.seq_alpha_seconds);
+  std::printf("  parallel (virtual):            %.4f s\n", r.report.ExecTimeSec());
+  std::printf("  speedup:                       %.2f\n\n", r.speedup);
+  std::printf("%s", r.report.ToString().c_str());
+  return r.verified ? 0 : 1;
+}
