@@ -1,0 +1,218 @@
+// Diff-engine microbenchmark: host-time cost of the outgoing-diff scan at
+// several dirty densities, old vs new.
+//
+//   word       the seed's word-at-a-time scanner (the oracle);
+//   block      the 64-byte block scan with chunked loads;
+//   block+map  the block scan restricted by a dirty-block map that marks
+//              exactly the modified blocks (the software-fault-mode path).
+//
+// All variants run with flush_update off so every iteration re-scans the
+// same images (master stores are idempotent), which makes iterations
+// comparable; the scan is what differs between engines, and the virtual-
+// time cost model charges the paper's constants regardless (EXPERIMENTS.md).
+// Each variant's master image is checked byte-identical to the oracle's
+// before timing. Results go to stdout and to BENCH_diff.json.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cashmere/common/rng.hpp"
+#include "cashmere/protocol/diff.hpp"
+
+namespace cashmere {
+namespace {
+
+using Page = std::vector<std::uint32_t>;
+
+Page RandomPage(std::uint64_t seed) {
+  Page p(kWordsPerPage);
+  SplitMix64 rng(seed);
+  for (auto& w : p) {
+    w = static_cast<std::uint32_t>(rng.Next());
+  }
+  return p;
+}
+
+std::byte* Bytes(Page& p) { return reinterpret_cast<std::byte*>(p.data()); }
+
+// One density scenario: a twin, a working copy with `dirty_words` random
+// words modified, and a map marking exactly the modified blocks.
+struct Scenario {
+  double density_pct;
+  std::size_t dirty_words;
+  Page twin;
+  Page working;
+  DirtyBlockMap map;
+
+  Scenario(double pct, std::uint64_t seed) : density_pct(pct) {
+    dirty_words = static_cast<std::size_t>(static_cast<double>(kWordsPerPage) * pct / 100.0);
+    twin = RandomPage(seed);
+    working = twin;
+    map.Clear();
+    SplitMix64 rng(seed + 1);
+    for (std::size_t k = 0; k < dirty_words; ++k) {
+      const std::size_t i = rng.NextBelow(kWordsPerPage);
+      working[i] ^= 0x5A5A5A5Au;  // involutory: repeatable across runs
+      map.MarkRange(i * kWordBytes, kWordBytes);
+    }
+  }
+};
+
+enum class Engine { kWord, kBlock, kBlockMap };
+
+std::size_t RunOnce(Engine e, Scenario& s, Page& master) {
+  switch (e) {
+    case Engine::kWord:
+      return ApplyOutgoingDiffWordScan(Bytes(s.working), Bytes(s.twin), Bytes(master), false);
+    case Engine::kBlock:
+      return ApplyOutgoingDiff(Bytes(s.working), Bytes(s.twin), Bytes(master), false);
+    case Engine::kBlockMap:
+      return ApplyOutgoingDiff(Bytes(s.working), Bytes(s.twin), Bytes(master), false, &s.map);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark registrations (density in tenths of a percent).
+
+void BM_DiffScan(benchmark::State& state, Engine engine) {
+  Scenario s(static_cast<double>(state.range(0)) / 10.0, 7);
+  Page master = s.twin;
+  for (auto _ : state) {
+    const std::size_t n = RunOnce(engine, s, master);
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPageBytes);
+  state.counters["dirty_words"] = static_cast<double>(s.dirty_words);
+}
+
+void RegisterBenchmarks() {
+  for (const auto& [engine, name] :
+       {std::pair{Engine::kWord, "word"}, {Engine::kBlock, "block"},
+        {Engine::kBlockMap, "block_map"}}) {
+    const std::string bench_name = std::string("BM_DiffScan/") + name;
+    benchmark::RegisterBenchmark(bench_name.c_str(),
+                                 [engine = engine](benchmark::State& st) {
+                                   BM_DiffScan(st, engine);
+                                 })
+        ->Arg(0)       // 0%
+        ->Arg(10)      // 1%
+        ->Arg(250)     // 25%
+        ->Arg(1000);   // 100%
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep + JSON emission.
+
+struct Measurement {
+  double density_pct;
+  std::size_t dirty_words;
+  double ns[3];  // per Engine
+};
+
+double TimeEngine(Engine e, Scenario& s, Page& master) {
+  using Clock = std::chrono::steady_clock;
+  // Warm up and size the rep count for ~20ms of work.
+  std::size_t reps = 64;
+  RunOnce(e, s, master);
+  while (true) {
+    const auto t0 = Clock::now();
+    for (std::size_t r = 0; r < reps; ++r) {
+      benchmark::DoNotOptimize(RunOnce(e, s, master));
+    }
+    const double ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+    if (ns > 2e7 || reps >= (1u << 22)) {
+      return ns / static_cast<double>(reps);
+    }
+    reps *= 4;
+  }
+}
+
+bool VerifyByteIdentical(Scenario& s) {
+  Page oracle = s.twin;
+  Page blk = s.twin;
+  Page map = s.twin;
+  const std::size_t n0 = RunOnce(Engine::kWord, s, oracle);
+  const std::size_t n1 = RunOnce(Engine::kBlock, s, blk);
+  const std::size_t n2 = RunOnce(Engine::kBlockMap, s, map);
+  return n0 == n1 && n1 == n2 && oracle == blk && oracle == map;
+}
+
+int RunSweep(const std::string& json_path) {
+  const double densities[] = {0.0, 1.0, 25.0, 100.0};
+  std::vector<Measurement> results;
+  bool all_identical = true;
+  for (const double pct : densities) {
+    Scenario s(pct, 40 + static_cast<std::uint64_t>(pct));
+    all_identical = all_identical && VerifyByteIdentical(s);
+    Measurement m;
+    m.density_pct = pct;
+    m.dirty_words = s.dirty_words;
+    for (const Engine e : {Engine::kWord, Engine::kBlock, Engine::kBlockMap}) {
+      Page master = s.twin;
+      m.ns[static_cast<int>(e)] = TimeEngine(e, s, master);
+    }
+    results.push_back(m);
+  }
+
+  std::printf("\nOutgoing diff scan, 8K page, host time per scan (ns)\n");
+  std::printf("%-10s %12s %12s %12s %12s %14s\n", "density", "dirty_words", "word", "block",
+              "block+map", "speedup(blk)");
+  double sparse_block_speedup = 0.0;
+  double sparse_map_speedup = 0.0;
+  for (const Measurement& m : results) {
+    const double blk_speedup = m.ns[0] / m.ns[1];
+    std::printf("%8.1f%% %12zu %12.1f %12.1f %12.1f %13.2fx\n", m.density_pct, m.dirty_words,
+                m.ns[0], m.ns[1], m.ns[2], blk_speedup);
+    if (m.density_pct > 0.0 && m.density_pct <= 1.0) {
+      sparse_block_speedup = blk_speedup;
+      sparse_map_speedup = m.ns[0] / m.ns[2];
+    }
+  }
+  std::printf("byte-identical across engines: %s\n", all_identical ? "yes" : "NO");
+  std::printf("sparse (1%%) speedup: block %.2fx, block+map %.2fx (acceptance: >= 3x)\n",
+              sparse_block_speedup, sparse_map_speedup);
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"page_bytes\": %zu,\n  \"byte_identical\": %s,\n", kPageBytes,
+                 all_identical ? "true" : "false");
+    std::fprintf(f, "  \"sparse_speedup_block\": %.3f,\n", sparse_block_speedup);
+    std::fprintf(f, "  \"sparse_speedup_block_map\": %.3f,\n", sparse_map_speedup);
+    std::fprintf(f, "  \"sweep\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Measurement& m = results[i];
+      std::fprintf(f,
+                   "    {\"density_pct\": %.1f, \"dirty_words\": %zu, \"word_ns\": %.1f, "
+                   "\"block_ns\": %.1f, \"block_map_ns\": %.1f}%s\n",
+                   m.density_pct, m.dirty_words, m.ns[0], m.ns[1], m.ns[2],
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cashmere
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_diff.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+  }
+  cashmere::RegisterBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return cashmere::RunSweep(json_path);
+}

@@ -23,6 +23,11 @@ namespace cashmere {
     }                                                     \
   } while (0)
 
+// Debug-build-only check; compiled out under NDEBUG.
+#ifdef NDEBUG
+#define CSM_DCHECK(expr) ((void)0)
+#else
 #define CSM_DCHECK(expr) CSM_CHECK(expr)
+#endif
 
 #endif  // CASHMERE_COMMON_LOGGING_HPP_

@@ -42,6 +42,14 @@ const char* CounterName(Counter c) {
       return "Messages Handled";
     case Counter::kHomeRelocations:
       return "Home Relocations";
+    case Counter::kDiffBlocksScanned:
+      return "Diff Blocks Scanned";
+    case Counter::kDiffBlocksSkipped:
+      return "Diff Blocks Skipped";
+    case Counter::kDiffRunsEmitted:
+      return "Diff Runs Emitted";
+    case Counter::kDiffRunBytes:
+      return "Diff Run Bytes";
     case Counter::kNumCounters:
       break;
   }

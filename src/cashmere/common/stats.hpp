@@ -34,6 +34,11 @@ enum class Counter : int {
   kPolls,
   kMessagesHandled,
   kHomeRelocations,
+  // Diff-engine host-side scan instrumentation (not part of Table 3).
+  kDiffBlocksScanned,  // 64-byte blocks whose words were loaded
+  kDiffBlocksSkipped,  // blocks skipped via dirty-region maps
+  kDiffRunsEmitted,    // RLE runs emitted by outgoing/incoming scans
+  kDiffRunBytes,       // wire-format bytes: run payload + run headers
   kNumCounters,
 };
 inline constexpr int kNumCounters = static_cast<int>(Counter::kNumCounters);

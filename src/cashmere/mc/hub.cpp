@@ -6,50 +6,32 @@
 
 namespace cashmere {
 
-namespace {
-
-std::atomic<std::uint32_t>* AsAtomic(void* p) {
-  return reinterpret_cast<std::atomic<std::uint32_t>*>(p);
-}
-
-const std::uint32_t* AsWords(const void* p) { return static_cast<const std::uint32_t*>(p); }
-
-}  // namespace
-
 void CopyWords32(void* dst, const void* src, std::size_t words) {
-  auto* d = AsAtomic(dst);
-  const std::uint32_t* s = AsWords(src);
+  auto* d = static_cast<std::byte*>(dst);
+  const auto* s = static_cast<const std::byte*>(src);
   for (std::size_t i = 0; i < words; ++i) {
     // The source may be concurrently written (race-free programs never race
     // on the same word, but neighbouring words of a page move while we
     // copy), so loads are atomic too.
-    const std::uint32_t v =
-        reinterpret_cast<const std::atomic<std::uint32_t>*>(s + i)->load(
-            std::memory_order_relaxed);
-    d[i].store(v, std::memory_order_relaxed);
+    StoreWord32Relaxed(d, i, LoadWord32Relaxed(s, i));
   }
   std::atomic_thread_fence(std::memory_order_release);
 }
 
-std::uint32_t LoadWord32(const void* src) {
-  return reinterpret_cast<const std::atomic<std::uint32_t>*>(src)->load(
-      std::memory_order_acquire);
-}
+std::uint32_t LoadWord32(const void* src) { return LoadWord32Acquire(src); }
 
-void StoreWord32(void* dst, std::uint32_t value) {
-  AsAtomic(dst)->store(value, std::memory_order_release);
-}
+void StoreWord32(void* dst, std::uint32_t value) { StoreWord32Release(dst, value); }
 
 void McHub::OrderedBroadcast32(std::uint32_t* location, std::uint32_t value, Traffic t) {
   SpinLockGuard guard(order_lock_);
-  AsAtomic(location)->store(value, std::memory_order_release);
+  StoreWord32Release(location, value);
   AccountWrite(t, kWordBytes * static_cast<std::size_t>(units_));
 }
 
 std::uint32_t McHub::OrderedExchange32(std::uint32_t* location, std::uint32_t value, Traffic t) {
   SpinLockGuard guard(order_lock_);
-  const std::uint32_t prev = AsAtomic(location)->load(std::memory_order_acquire);
-  AsAtomic(location)->store(value, std::memory_order_release);
+  const std::uint32_t prev = LoadWord32Acquire(location);
+  StoreWord32Release(location, value);
   AccountWrite(t, kWordBytes * static_cast<std::size_t>(units_));
   return prev;
 }
@@ -59,8 +41,14 @@ void McHub::WriteStream(void* dst, const void* src, std::size_t words, Traffic t
   AccountWrite(t, words * kWordBytes);
 }
 
+void McHub::WriteRun(void* dst_base, std::size_t offset_words, const void* payload,
+                     std::size_t nwords, Traffic t) {
+  CopyWords32(static_cast<std::byte*>(dst_base) + offset_words * kWordBytes, payload, nwords);
+  AccountWrite(t, nwords * kWordBytes);
+}
+
 void McHub::Write32(std::uint32_t* dst, std::uint32_t value, Traffic t) {
-  AsAtomic(dst)->store(value, std::memory_order_release);
+  StoreWord32Release(dst, value);
   AccountWrite(t, kWordBytes);
 }
 

@@ -29,6 +29,7 @@
 
 #include "cashmere/common/spin.hpp"
 #include "cashmere/common/types.hpp"
+#include "cashmere/common/word_access.hpp"
 
 namespace cashmere {
 
@@ -46,7 +47,9 @@ inline constexpr int kNumTrafficClasses = static_cast<int>(Traffic::kNumClasses)
 
 // Atomic 32-bit word copy helpers. All shared-page data movement in the
 // system goes through these, mirroring MC's 32-bit write atomicity and
-// keeping concurrent access by race-free programs well defined.
+// keeping concurrent access by race-free programs well defined. The word
+// accesses themselves are the shared std::atomic_ref helpers in
+// common/word_access.hpp, which the diff engine uses too.
 void CopyWords32(void* dst, const void* src, std::size_t words);
 std::uint32_t LoadWord32(const void* src);
 void StoreWord32(void* dst, std::uint32_t value);
@@ -73,6 +76,13 @@ class McHub {
   // Unordered remote write of a word stream into one destination node's
   // receive region (page data, diffs, write notices). Word-atomic.
   void WriteStream(void* dst, const void* src, std::size_t words, Traffic t);
+  // Remote write of one RLE diff run: scatters `nwords` payload words into
+  // `dst_base` at word offset `offset_words`. On MC a diff run is raw
+  // remote writes of the modified words, so traffic is accounted as the
+  // payload bytes (run descriptors are host-side bookkeeping, tracked by
+  // the kDiffRunBytes statistic, not MC traffic).
+  void WriteRun(void* dst_base, std::size_t offset_words, const void* payload,
+                std::size_t nwords, Traffic t);
   // Remote write of a single word without global ordering.
   void Write32(std::uint32_t* dst, std::uint32_t value, Traffic t);
 

@@ -176,6 +176,7 @@ void CashmereProtocol::HandleRequest(const Request& request) {
       if (other_writers) {
         if (!pl.twin_valid && !UnitAtMaster(ctx.unit(), page)) {
           CopyPage(TwinPtr(ctx.unit(), page), working);
+          InitTwinMap(pl, ctx.unit(), page);
           pl.twin_valid = true;
           ctx.stats().Add(Counter::kTwinCreations);
           if (!IsWriteDouble()) {
@@ -275,9 +276,14 @@ void CashmereProtocol::ApplyIncoming(Context& ctx, PageLocal& pl, PageId page,
     // Two-way diffing (Section 2.5): merge only the remote modifications so
     // concurrent local writers are not disturbed — this replaces TLB
     // shootdown. (2LS never reaches here with a twin: it shoots down and
-    // flushes before fetching.)
-    const std::size_t words = ApplyIncomingDiff(image, TwinPtr(ctx.unit(), page), working);
+    // flushes before fetching.) The merge writes working and twin
+    // identically, so the dirty-block map (working-vs-twin) is untouched.
+    DiffScanStats scan;
+    const std::size_t words =
+        ApplyIncomingDiff(image, TwinPtr(ctx.unit(), page), working, &scan);
     ctx.stats().Add(Counter::kIncomingDiffs);
+    ctx.stats().Add(Counter::kDiffBlocksScanned, scan.blocks_scanned);
+    ctx.stats().Add(Counter::kDiffRunsEmitted, scan.runs);
     ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol, cfg_.costs.DiffInNs(words));
   } else {
     CopyPage(working, image);
@@ -395,6 +401,7 @@ void CashmereProtocol::EnsureTwin(Context& ctx, PageLocal& pl, PageId page) {
     return;
   }
   CopyPage(TwinPtr(ctx.unit(), page), WorkingPtr(ctx.unit(), page));
+  InitTwinMap(pl, ctx.unit(), page);
   pl.twin_valid = true;
   ctx.stats().Add(Counter::kTwinCreations);
   if (!IsWriteDouble()) {
@@ -404,6 +411,55 @@ void CashmereProtocol::EnsureTwin(Context& ctx, PageLocal& pl, PageId page) {
     ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
                        CostModel::UsToNs(cfg_.costs.twin_us));
   }
+}
+
+void CashmereProtocol::InitTwinMap(const PageLocal& pl, UnitId unit, PageId page) {
+  DirtyBlockMap& map = TwinMap(unit, page);
+  if (cfg_.fault_mode == FaultMode::kSoftware &&
+      pl.WriterCount(cfg_.procs_per_unit()) == 0) {
+    // Every write after this point is announced via NoteLocalWrite (the
+    // creating writer only gains ReadWrite after the twin exists), so the
+    // map can start empty and track exactly.
+    map.Clear();
+  } else {
+    // SIGSEGV mode (writes invisible to the runtime) or a pre-existing
+    // local writer whose earlier stores were never tracked (break-exclusive
+    // twin creation): the whole page must be scanned.
+    map.MarkAll();
+  }
+}
+
+void CashmereProtocol::NoteLocalWrite(UnitId unit, PageId page, std::size_t offset,
+                                      std::size_t bytes) {
+  if (cfg_.fault_mode != FaultMode::kSoftware || bytes == 0) {
+    return;
+  }
+  PageLocal& pl = Unit(unit).Page(page);
+  SpinLockGuard guard(pl.lock);
+  if (!pl.twin_valid) {
+    return;  // master-sharing, exclusive mode, or no local writer: no diff
+  }
+  TwinMap(unit, page).MarkRange(offset, bytes);
+}
+
+std::size_t CashmereProtocol::FlushOutgoingDiffRuns(Context& ctx, PageId page,
+                                                    bool flush_update) {
+  DiffBuffer& buf = ctx.diff_scratch();
+  DiffScanStats scan;
+  EncodeOutgoingDiff(WorkingPtr(ctx.unit(), page), TwinPtr(ctx.unit(), page), flush_update,
+                     &TwinMap(ctx.unit(), page), buf, &scan);
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < buf.run_count(); ++i) {
+    const DiffRun& r = buf.run(i);
+    deps_.hub->WriteRun(MasterPtr(page), r.offset_words, buf.payload(cursor), r.nwords,
+                        Traffic::kDiffData);
+    cursor += r.nwords;
+  }
+  ctx.stats().Add(Counter::kDiffBlocksScanned, scan.blocks_scanned);
+  ctx.stats().Add(Counter::kDiffBlocksSkipped, scan.blocks_skipped);
+  ctx.stats().Add(Counter::kDiffRunsEmitted, scan.runs);
+  ctx.stats().Add(Counter::kDiffRunBytes, scan.run_bytes);
+  return buf.words();
 }
 
 void CashmereProtocol::ShootdownLocalWriters(Context& ctx, PageLocal& pl, PageId page) {
@@ -428,10 +484,7 @@ void CashmereProtocol::ShootdownLocalWriters(Context& ctx, PageLocal& pl, PageId
                        CostModel::UsToNs(per_victim * victims));
   }
   if (pl.twin_valid && !UnitAtMaster(ctx.unit(), page)) {
-    std::byte* working = WorkingPtr(ctx.unit(), page);
-    const std::size_t words =
-        ApplyOutgoingDiff(working, TwinPtr(ctx.unit(), page), MasterPtr(page), false);
-    deps_.hub->AccountWrite(Traffic::kDiffData, words * kWordBytes);
+    const std::size_t words = FlushOutgoingDiffRuns(ctx, page, /*flush_update=*/false);
     deps_.hub->ReserveBus(ctx.clock().now(), words * kWordBytes);
     pl.flush_ts.store(us.Tick(), std::memory_order_release);
     ctx.stats().Add(Counter::kPageFlushes);
@@ -626,15 +679,12 @@ void CashmereProtocol::FlushPage(Context& ctx, PageLocal& pl, PageId page,
             (int)UnitAtMaster(ctx.unit(), page));
 
   if (!UnitAtMaster(ctx.unit(), page) && pl.twin_valid) {
-    std::byte* working = WorkingPtr(ctx.unit(), page);
     if (IsShootdown()) {
       ShootdownLocalWriters(ctx, pl, page);  // flushes + discards the twin
     } else {
       // Flush-update: write local modifications to both the home node and
       // the twin, so overlapping releases skip redundant work (Section 2.5).
-      const std::size_t words =
-          ApplyOutgoingDiff(working, TwinPtr(ctx.unit(), page), MasterPtr(page), true);
-      deps_.hub->AccountWrite(Traffic::kDiffData, words * kWordBytes);
+      const std::size_t words = FlushOutgoingDiffRuns(ctx, page, /*flush_update=*/true);
       // The flusher is write-buffered and does not stall, but the diff
       // occupies the serial MC: later transfers queue behind it.
       deps_.hub->ReserveBus(ctx.clock().now(), words * kWordBytes);
@@ -771,7 +821,7 @@ void CashmereProtocol::FinalFlush(Context& ctx) {
       pl.exclusive = false;
     } else if (pl.twin_valid) {
       ApplyOutgoingDiff(WorkingPtr(ctx.unit(), page), TwinPtr(ctx.unit(), page),
-                        MasterPtr(page), true);
+                        MasterPtr(page), true, &TwinMap(ctx.unit(), page));
     }
     pl.dirty_mask = 0;
   }

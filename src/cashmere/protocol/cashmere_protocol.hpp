@@ -90,6 +90,12 @@ class CashmereProtocol : public RequestHandler {
   // results can be read out. Called once per unit after a full barrier.
   void FinalFlush(Context& ctx);
 
+  // Software fault mode only: records that [offset, offset + bytes) of
+  // `page` is about to be written, marking the twin's dirty-block map so
+  // diff scans can skip untouched blocks. No-op while the page has no
+  // twin (master-sharing, exclusive mode, or no local writer).
+  void NoteLocalWrite(UnitId unit, PageId page, std::size_t offset, std::size_t bytes);
+
   // --- Introspection (tests) ---------------------------------------------
   PageLocal& PageState(UnitId unit, PageId page) { return Unit(unit).Page(page); }
   UnitState& Unit(UnitId unit) { return *(*deps_.units)[static_cast<std::size_t>(unit)]; }
@@ -115,6 +121,11 @@ class CashmereProtocol : public RequestHandler {
   void FlushPage(Context& ctx, PageLocal& pl, PageId page, std::uint64_t release_start,
                  bool barrier_arrival);
   void SendWriteNotices(Context& ctx, PageId page);
+  // Block-scans working-vs-twin (restricted by the dirty map), ships the
+  // RLE runs to the home node's master copy as MC remote writes, and
+  // records the diff-scan statistics. Page lock held. Returns the number
+  // of modified words.
+  std::size_t FlushOutgoingDiffRuns(Context& ctx, PageId page, bool flush_update);
 
   // Directory helpers (charge costs, honour the global-lock ablation).
   void UpdateDirWord(Context& ctx, PageId page, DirWord word);
@@ -129,6 +140,14 @@ class CashmereProtocol : public RequestHandler {
   std::byte* TwinPtr(UnitId unit, PageId page) const {
     return (*deps_.twins)[static_cast<std::size_t>(unit)]->TwinPtr(page);
   }
+  DirtyBlockMap& TwinMap(UnitId unit, PageId page) const {
+    return (*deps_.twins)[static_cast<std::size_t>(unit)]->Map(page);
+  }
+  // Initializes the dirty map at twin creation (page lock held): exact
+  // tracking is possible only when every subsequent write is visible
+  // (software fault mode with no pre-existing writer); otherwise the map
+  // is conservatively full.
+  void InitTwinMap(const PageLocal& pl, UnitId unit, PageId page);
   ProcId GlobalProc(UnitId unit, int local_index) const {
     return cfg_.FirstProcOfUnit(unit) + local_index;
   }

@@ -69,11 +69,21 @@ void Context::EnsureWrite(void* addr, std::size_t bytes) {
   const auto offset = static_cast<GlobalAddr>(static_cast<std::byte*>(addr) - view_base_);
   const PageId first = PageOf(offset);
   const PageId last = PageOf(offset + (bytes == 0 ? 0 : bytes - 1));
+  const GlobalAddr end = offset + bytes;
   for (PageId page = first; page <= last; ++page) {
     if (runtime_->protocol().PageState(unit_, page).PermOfLocal(local_index_) !=
         Perm::kReadWrite) {
       runtime_->protocol().OnFault(*this, page, /*is_write=*/true);
     }
+    // Software fault mode sees every write, so dirty-region tracking is
+    // exact: mark the written blocks so diff scans skip the rest of the
+    // page. (In SIGSEGV mode writes are invisible and the page's map stays
+    // conservatively full.)
+    const GlobalAddr page_base = static_cast<GlobalAddr>(page) * kPageBytes;
+    const GlobalAddr lo = offset > page_base ? offset : page_base;
+    const GlobalAddr hi = end < page_base + kPageBytes ? end : page_base + kPageBytes;
+    runtime_->protocol().NoteLocalWrite(unit_, page, static_cast<std::size_t>(lo - page_base),
+                                        static_cast<std::size_t>(hi - lo));
   }
 }
 

@@ -15,6 +15,7 @@
 
 namespace cashmere {
 
+class DiffBuffer;
 class Runtime;
 
 class Context {
@@ -80,6 +81,11 @@ class Context {
   Stats& stats() { return stats_; }
   Runtime& runtime() const { return *runtime_; }
 
+  // Preallocated per-processor RLE diff scratch (fixed capacity, so the
+  // flush paths — including shootdowns inside the SIGSEGV fault handler —
+  // never allocate).
+  DiffBuffer& diff_scratch() const { return *diff_scratch_; }
+
   // The current thread's context (bound by Runtime::Run). Null outside.
   static Context* Current();
   static void Bind(Context* ctx);
@@ -104,6 +110,7 @@ class Context {
   int total_procs_ = 0;
   std::byte* view_base_ = nullptr;
   Runtime* runtime_ = nullptr;
+  DiffBuffer* diff_scratch_ = nullptr;
   VirtualClock clock_;
   Stats stats_;
   std::atomic<std::uint64_t> debug_state_{0};

@@ -93,6 +93,8 @@ Runtime::Runtime(Config cfg, SyncShape sync)
     ctx.total_procs_ = cfg_.total_procs();
     ctx.view_base_ = views_[static_cast<std::size_t>(p)]->base();
     ctx.runtime_ = this;
+    diff_scratch_.push_back(std::make_unique<DiffBuffer>());
+    ctx.diff_scratch_ = diff_scratch_.back().get();
   }
 }
 

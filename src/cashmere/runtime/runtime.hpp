@@ -112,6 +112,9 @@ class Runtime : public FaultSink {
   std::unique_ptr<CashmereProtocol> protocol_;
   SharedHeap heap_;
   std::deque<Context> contexts_;
+  // Per-processor RLE diff scratch, preallocated so flush paths (including
+  // the SIGSEGV fault handler) never allocate.
+  std::vector<std::unique_ptr<DiffBuffer>> diff_scratch_;
   std::deque<ClusterLock> locks_;
   std::deque<ClusterBarrier> barriers_;
   std::deque<ClusterFlag> flags_;
