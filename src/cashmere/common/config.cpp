@@ -35,10 +35,11 @@ bool IsTwoLevel(ProtocolVariant v) {
 
 std::string Config::Describe() const {
   char buf[160];
-  std::snprintf(buf, sizeof(buf), "%s %d:%d heap=%zuKB pages=%zu sp=%zu%s%s",
+  std::snprintf(buf, sizeof(buf), "%s %d:%d heap=%zuKB pages=%zu sp=%zu%s%s%s",
                 ProtocolVariantName(protocol), total_procs(), procs_per_node,
                 heap_bytes / 1024, pages(), superpage_pages, home_opt ? " home-opt" : "",
-                delivery == DeliveryMode::kInterrupt ? " interrupts" : "");
+                delivery == DeliveryMode::kInterrupt ? " interrupts" : "",
+                charge_diff_run_headers ? " run-hdrs" : "");
   return buf;
 }
 

@@ -57,6 +57,17 @@ struct Config {
   DeliveryMode delivery = DeliveryMode::kPolling;
   FaultMode fault_mode = FaultMode::kSigsegv;
 
+  // Cost-model variant: charge the 8-byte DiffRun wire headers (tracked by
+  // the kDiffRunBytes statistic) as Memory Channel diff traffic — they are
+  // accounted in the Table 3 data volume and occupy the serial bus at flush
+  // time. Off by default: on real MC a diff run is raw remote writes of the
+  // modified words and the run descriptors are host-side bookkeeping, so
+  // the paper's numbers charge payload bytes only. Enabling this models a
+  // transport that ships the framed runs themselves (the user-level DSM
+  // framing in PAPERS.md) and must leave the default outputs byte-identical
+  // when off.
+  bool charge_diff_run_headers = false;
+
   CostModel costs;
   // Multiplier applied to every modeled protocol cost (Runtime applies it
   // to `costs` at construction). Benchmarks on scaled-down problems set

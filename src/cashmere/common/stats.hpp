@@ -1,11 +1,14 @@
 // Per-processor event counters for the Table 3 statistics, plus the time
-// breakdown needed for Figure 6. Counters are plain (non-atomic) because
-// each processor owns its own Stats instance; aggregation happens after
-// the run.
+// breakdown needed for Figure 6. Each processor owns its own Stats
+// instance; aggregation happens after the run. Event counts are relaxed
+// atomics with single-writer read-modify-write (plain load + add + store —
+// no lock prefix) because the deadlock watchdog samples them from its own
+// thread while the run is live.
 #ifndef CASHMERE_COMMON_STATS_HPP_
 #define CASHMERE_COMMON_STATS_HPP_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -39,6 +42,10 @@ enum class Counter : int {
   kDiffBlocksSkipped,  // blocks skipped via dirty-region maps
   kDiffRunsEmitted,    // RLE runs emitted by outgoing/incoming scans
   kDiffRunBytes,       // wire-format bytes: run payload + run headers
+  // Lock-free write-tracking instrumentation (software fault mode).
+  kDirtyShardMerges,     // per-proc shards OR-folded into a twin's map
+  kDirtyShardStaleDrops, // marked shards discarded at twin creation (stale gen)
+  kDiffRunApplyBytes,    // wire bytes replayed by the run-serialized apply
   kNumCounters,
 };
 inline constexpr int kNumCounters = static_cast<int>(Counter::kNumCounters);
@@ -46,11 +53,28 @@ inline constexpr int kNumCounters = static_cast<int>(Counter::kNumCounters);
 const char* CounterName(Counter c);
 
 struct Stats {
-  std::array<std::uint64_t, kNumCounters> counts{};
+  std::array<std::atomic<std::uint64_t>, kNumCounters> counts{};
+  // time_ns stays plain: it is never read off-thread while the run is live.
   std::array<std::uint64_t, kNumTimeCategories> time_ns{};
 
-  void Add(Counter c, std::uint64_t n = 1) { counts[static_cast<int>(c)] += n; }
-  std::uint64_t Get(Counter c) const { return counts[static_cast<int>(c)]; }
+  Stats() = default;
+  Stats(const Stats& other) { *this = other; }
+  Stats& operator=(const Stats& other) {
+    for (int i = 0; i < kNumCounters; ++i) {
+      counts[i].store(other.counts[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    }
+    time_ns = other.time_ns;
+    return *this;
+  }
+
+  void Add(Counter c, std::uint64_t n = 1) {
+    std::atomic<std::uint64_t>& a = counts[static_cast<int>(c)];
+    a.store(a.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+  }
+  std::uint64_t Get(Counter c) const {
+    return counts[static_cast<int>(c)].load(std::memory_order_relaxed);
+  }
   void AddTime(TimeCategory cat, std::uint64_t ns) { time_ns[static_cast<int>(cat)] += ns; }
 
   Stats& operator+=(const Stats& other);

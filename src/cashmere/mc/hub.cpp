@@ -42,9 +42,9 @@ void McHub::WriteStream(void* dst, const void* src, std::size_t words, Traffic t
 }
 
 void McHub::WriteRun(void* dst_base, std::size_t offset_words, const void* payload,
-                     std::size_t nwords, Traffic t) {
+                     std::size_t nwords, Traffic t, std::size_t header_bytes) {
   CopyWords32(static_cast<std::byte*>(dst_base) + offset_words * kWordBytes, payload, nwords);
-  AccountWrite(t, nwords * kWordBytes);
+  AccountWrite(t, nwords * kWordBytes + header_bytes);
 }
 
 void McHub::Write32(std::uint32_t* dst, std::uint32_t value, Traffic t) {

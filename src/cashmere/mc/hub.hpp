@@ -78,11 +78,14 @@ class McHub {
   void WriteStream(void* dst, const void* src, std::size_t words, Traffic t);
   // Remote write of one RLE diff run: scatters `nwords` payload words into
   // `dst_base` at word offset `offset_words`. On MC a diff run is raw
-  // remote writes of the modified words, so traffic is accounted as the
-  // payload bytes (run descriptors are host-side bookkeeping, tracked by
-  // the kDiffRunBytes statistic, not MC traffic).
+  // remote writes of the modified words, so by default traffic is accounted
+  // as the payload bytes only (run descriptors are host-side bookkeeping,
+  // tracked by the kDiffRunBytes statistic, not MC traffic). Under the
+  // Config::charge_diff_run_headers cost variant the caller passes the
+  // run's framing overhead as `header_bytes`, which is accounted into the
+  // same traffic class without changing the write count.
   void WriteRun(void* dst_base, std::size_t offset_words, const void* payload,
-                std::size_t nwords, Traffic t);
+                std::size_t nwords, Traffic t, std::size_t header_bytes = 0);
   // Remote write of a single word without global ordering.
   void Write32(std::uint32_t* dst, std::uint32_t value, Traffic t);
 

@@ -1,0 +1,55 @@
+// Run-serialized diff transport.
+//
+// The seed shipped outgoing diffs by walking the in-memory DiffBuffer and
+// issuing one remote write per run. This layer finishes the wire format:
+// the encoded diff — DiffRun headers followed by the payload snapshot — is
+// serialized into a per-processor wire buffer owned by the message layer,
+// and the apply side replays the runs directly from that image into the
+// home node's master copy (one McHub::WriteRun per run), never re-scanning
+// the page word-by-word on the receive side.
+//
+// The sender performs the replay synchronously, which is faithful to the
+// Memory Channel: a diff flush is DMA of the modified words into the home
+// node's receive region, performed by the sender's writes themselves. By
+// default traffic accounting is byte-identical to the seed's direct loop
+// (payload bytes, one accounted write per run); the
+// Config::charge_diff_run_headers variant additionally bills the 8-byte
+// run headers as diff traffic (see config.hpp).
+#ifndef CASHMERE_MSG_DIFF_WIRE_HPP_
+#define CASHMERE_MSG_DIFF_WIRE_HPP_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cashmere/common/types.hpp"
+#include "cashmere/mc/hub.hpp"
+#include "cashmere/protocol/diff.hpp"
+
+namespace cashmere {
+
+// One serialized diff: [nruns run headers][nwords payload words], plus
+// host-side metadata. Sized for the worst case (alternating dirty words),
+// one slot per processor, so serialization never allocates — the flush
+// paths run inside the SIGSEGV fault handler.
+struct DiffWireSlot {
+  PageId page = kInvalidPage;
+  std::uint32_t nruns = 0;
+  std::uint32_t nwords = 0;
+  alignas(64) std::byte wire[DiffBuffer::kMaxRuns * kDiffRunHeaderBytes + kPageBytes];
+};
+
+// Serializes `diff` into `slot`. Returns the wire size in bytes
+// (headers + payload), i.e. diff.WireBytes().
+std::size_t SerializeDiffRuns(PageId page, const DiffBuffer& diff, DiffWireSlot& slot);
+
+// Replays a serialized diff into the page frame at `master_base`: one
+// McHub::WriteRun per run, scattering exactly the modified words. Passes
+// `header_bytes_per_run` through to the hub's traffic accounting (0 keeps
+// the default payload-only accounting). Returns the wire bytes consumed,
+// surfaced as the kDiffRunApplyBytes statistic.
+std::size_t ReplayDiffWire(const DiffWireSlot& slot, McHub& hub, std::byte* master_base,
+                           std::size_t header_bytes_per_run = 0);
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_MSG_DIFF_WIRE_HPP_

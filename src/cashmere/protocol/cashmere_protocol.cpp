@@ -5,6 +5,7 @@
 
 #include "cashmere/common/logging.hpp"
 #include "cashmere/common/trace.hpp"
+#include "cashmere/msg/diff_wire.hpp"
 #include "cashmere/protocol/diff.hpp"
 
 
@@ -176,8 +177,8 @@ void CashmereProtocol::HandleRequest(const Request& request) {
       if (other_writers) {
         if (!pl.twin_valid && !UnitAtMaster(ctx.unit(), page)) {
           CopyPage(TwinPtr(ctx.unit(), page), working);
-          InitTwinMap(pl, ctx.unit(), page);
-          pl.twin_valid = true;
+          InitTwinMap(ctx, pl, ctx.unit(), page);
+          pl.SetTwinValid(true);
           ctx.stats().Add(Counter::kTwinCreations);
           if (!IsWriteDouble()) {
             ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
@@ -401,8 +402,8 @@ void CashmereProtocol::EnsureTwin(Context& ctx, PageLocal& pl, PageId page) {
     return;
   }
   CopyPage(TwinPtr(ctx.unit(), page), WorkingPtr(ctx.unit(), page));
-  InitTwinMap(pl, ctx.unit(), page);
-  pl.twin_valid = true;
+  InitTwinMap(ctx, pl, ctx.unit(), page);
+  pl.SetTwinValid(true);
   ctx.stats().Add(Counter::kTwinCreations);
   if (!IsWriteDouble()) {
     // Cashmere-1L has no twins on the real system (write-through); the twin
@@ -413,8 +414,29 @@ void CashmereProtocol::EnsureTwin(Context& ctx, PageLocal& pl, PageId page) {
   }
 }
 
-void CashmereProtocol::InitTwinMap(const PageLocal& pl, UnitId unit, PageId page) {
+void CashmereProtocol::InitTwinMap(Context& ctx, const PageLocal& pl, UnitId unit,
+                                   PageId page) {
   DirtyBlockMap& map = TwinMap(unit, page);
+  if (cfg_.fault_mode == FaultMode::kSoftware) {
+    // Any shard still carrying marks belongs to an earlier twin generation
+    // (the new odd generation is only published after this returns, so no
+    // marker can have stamped it yet): its content is discarded, never
+    // merged into the new twin's map. Discarding is sound because a stale
+    // mark's write either predates the twin copy just taken — the value is
+    // already in the twin, so no diff is needed — or it raced a twin
+    // transition the same way it would have raced the seed's locked
+    // twin_valid check. Shards are owner-reset lazily at the owner's next
+    // mark; the merger never writes them.
+    std::uint64_t stale = 0;
+    for (int li = 0; li < cfg_.procs_per_unit(); ++li) {
+      if (WriteShard(unit, page, li).AnyMarks()) {
+        ++stale;
+      }
+    }
+    if (stale != 0) {
+      ctx.stats().Add(Counter::kDirtyShardStaleDrops, stale);
+    }
+  }
   if (cfg_.fault_mode == FaultMode::kSoftware &&
       pl.WriterCount(cfg_.procs_per_unit()) == 0) {
     // Every write after this point is announced via NoteLocalWrite (the
@@ -429,37 +451,94 @@ void CashmereProtocol::InitTwinMap(const PageLocal& pl, UnitId unit, PageId page
   }
 }
 
-void CashmereProtocol::NoteLocalWrite(UnitId unit, PageId page, std::size_t offset,
-                                      std::size_t bytes) {
+void CashmereProtocol::NoteLocalWrite(UnitId unit, int local_index, PageId page,
+                                      std::size_t offset, std::size_t bytes) {
   if (cfg_.fault_mode != FaultMode::kSoftware || bytes == 0) {
     return;
   }
+  // Lock-free fast path: this runs once per instrumented store, so it must
+  // not serialize concurrent local writers. The generation's parity is the
+  // unlocked equivalent of the seed's twin_valid check; a mark that races a
+  // twin transition lands stamped with the old generation and is discarded
+  // at merge time, exactly as the seed's locked check would have skipped it.
   PageLocal& pl = Unit(unit).Page(page);
-  SpinLockGuard guard(pl.lock);
-  if (!pl.twin_valid) {
+  const std::uint64_t gen = pl.twin_gen.load(std::memory_order_acquire);
+  if ((gen & 1) == 0) {
     return;  // master-sharing, exclusive mode, or no local writer: no diff
   }
-  TwinMap(unit, page).MarkRange(offset, bytes);
+  WriteShard(unit, page, local_index).MarkRange(gen, offset, bytes);
 }
 
-std::size_t CashmereProtocol::FlushOutgoingDiffRuns(Context& ctx, PageId page,
-                                                    bool flush_update) {
+void CashmereProtocol::MergeWriteShards(UnitId unit, PageId page, Stats* stats) {
+  if (cfg_.fault_mode != FaultMode::kSoftware) {
+    return;  // shards are only fed in software fault mode
+  }
+  PageLocal& pl = Unit(unit).Page(page);
+  const std::uint64_t gen = pl.twin_gen.load(std::memory_order_relaxed);
+  if ((gen & 1) == 0) {
+    return;
+  }
+  DirtyBlockMap& map = TwinMap(unit, page);
+  std::uint64_t merged = 0;
+  for (int li = 0; li < cfg_.procs_per_unit(); ++li) {
+    DirtyMapShard& sh = WriteShard(unit, page, li);
+    // Acquire pairs with the owner's release stamp: a matching generation
+    // implies the owner's reset is visible, so no bits of an older twin
+    // leak in. Marks fetch_or-ed after this read are covered by the marking
+    // writer's own later flush (the shard and map are monotone per
+    // generation — the same argument MarkRange has always relied on).
+    if (sh.gen.load(std::memory_order_acquire) != gen) {
+      continue;  // stale or unused shard: discard, never merge
+    }
+    bool any = false;
+    for (std::size_t w = 0; w < DirtyBlockMap::kMapWords; ++w) {
+      const std::uint64_t bits = sh.bits[w].load(std::memory_order_relaxed);
+      if (bits != 0) {
+        map.OrWord(w, bits);
+        any = true;
+      }
+    }
+    if (any) {
+      ++merged;
+    }
+  }
+  if (merged != 0 && stats != nullptr) {
+    stats->Add(Counter::kDirtyShardMerges, merged);
+  }
+}
+
+const DirtyBlockMap& CashmereProtocol::MergedTwinMapForTesting(UnitId unit, PageId page) {
+  PageLocal& pl = Unit(unit).Page(page);
+  SpinLockGuard guard(pl.lock);
+  MergeWriteShards(unit, page, nullptr);
+  return TwinMap(unit, page);
+}
+
+CashmereProtocol::FlushResult CashmereProtocol::FlushOutgoingDiffRuns(Context& ctx,
+                                                                     PageId page,
+                                                                     bool flush_update) {
+  MergeWriteShards(ctx.unit(), page, &ctx.stats());
   DiffBuffer& buf = ctx.diff_scratch();
   DiffScanStats scan;
   EncodeOutgoingDiff(WorkingPtr(ctx.unit(), page), TwinPtr(ctx.unit(), page), flush_update,
                      &TwinMap(ctx.unit(), page), buf, &scan);
-  std::size_t cursor = 0;
-  for (std::size_t i = 0; i < buf.run_count(); ++i) {
-    const DiffRun& r = buf.run(i);
-    deps_.hub->WriteRun(MasterPtr(page), r.offset_words, buf.payload(cursor), r.nwords,
-                        Traffic::kDiffData);
-    cursor += r.nwords;
-  }
+  // Ship the encoded runs through the wire format: serialize headers +
+  // payload into this processor's transmit buffer, then replay the runs
+  // into the home node's master copy as MC remote writes. Traffic is
+  // byte-identical to writing each run straight out of the DiffBuffer; the
+  // charge_diff_run_headers variant additionally bills the run framing.
+  const std::size_t hdr_bytes =
+      cfg_.charge_diff_run_headers ? kDiffRunHeaderBytes : std::size_t{0};
+  DiffWireSlot& slot = deps_.msg->DiffSlotOf(ctx.proc());
+  SerializeDiffRuns(page, buf, slot);
+  const std::size_t applied = ReplayDiffWire(slot, *deps_.hub, MasterPtr(page), hdr_bytes);
+  ctx.stats().Add(Counter::kDiffRunApplyBytes, applied);
   ctx.stats().Add(Counter::kDiffBlocksScanned, scan.blocks_scanned);
   ctx.stats().Add(Counter::kDiffBlocksSkipped, scan.blocks_skipped);
   ctx.stats().Add(Counter::kDiffRunsEmitted, scan.runs);
   ctx.stats().Add(Counter::kDiffRunBytes, scan.run_bytes);
-  return buf.words();
+  return FlushResult{buf.words(),
+                     buf.words() * kWordBytes + buf.run_count() * hdr_bytes};
 }
 
 void CashmereProtocol::ShootdownLocalWriters(Context& ctx, PageLocal& pl, PageId page) {
@@ -484,17 +563,17 @@ void CashmereProtocol::ShootdownLocalWriters(Context& ctx, PageLocal& pl, PageId
                        CostModel::UsToNs(per_victim * victims));
   }
   if (pl.twin_valid && !UnitAtMaster(ctx.unit(), page)) {
-    const std::size_t words = FlushOutgoingDiffRuns(ctx, page, /*flush_update=*/false);
-    deps_.hub->ReserveBus(ctx.clock().now(), words * kWordBytes);
+    const FlushResult r = FlushOutgoingDiffRuns(ctx, page, /*flush_update=*/false);
+    deps_.hub->ReserveBus(ctx.clock().now(), r.bus_bytes);
     pl.flush_ts.store(us.Tick(), std::memory_order_release);
     ctx.stats().Add(Counter::kPageFlushes);
     const bool home_local =
         cfg_.NodeOfProc(cfg_.FirstProcOfUnit(deps_.homes->HomeOfPage(page))) == ctx.node();
     ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
-                       cfg_.costs.DiffOutNs(words, home_local));
+                       cfg_.costs.DiffOutNs(r.words, home_local));
     SendWriteNotices(ctx, page);
   }
-  pl.twin_valid = false;
+  pl.SetTwinValid(false);
   pl.dirty_mask = 0;
 }
 
@@ -684,10 +763,11 @@ void CashmereProtocol::FlushPage(Context& ctx, PageLocal& pl, PageId page,
     } else {
       // Flush-update: write local modifications to both the home node and
       // the twin, so overlapping releases skip redundant work (Section 2.5).
-      const std::size_t words = FlushOutgoingDiffRuns(ctx, page, /*flush_update=*/true);
+      const FlushResult r = FlushOutgoingDiffRuns(ctx, page, /*flush_update=*/true);
+      const std::size_t words = r.words;
       // The flusher is write-buffered and does not stall, but the diff
       // occupies the serial MC: later transfers queue behind it.
-      deps_.hub->ReserveBus(ctx.clock().now(), words * kWordBytes);
+      deps_.hub->ReserveBus(ctx.clock().now(), r.bus_bytes);
       ctx.stats().Add(Counter::kPageFlushes);
       ctx.stats().Add(Counter::kFlushUpdates);
       const bool home_local =
@@ -713,7 +793,7 @@ void CashmereProtocol::FlushPage(Context& ctx, PageLocal& pl, PageId page,
     ProtectLocal(ctx, pl, ctx.unit(), li, page, Perm::kRead);
   }
   if (!IsShootdown() && pl.twin_valid && pl.WriterCount(cfg_.procs_per_unit()) == 0) {
-    pl.twin_valid = false;  // no writers left: the twin is no longer needed
+    pl.SetTwinValid(false);  // no writers left: the twin is no longer needed
   }
   RefreshLoosestPerm(ctx, pl, page);
 }
@@ -820,6 +900,7 @@ void CashmereProtocol::FinalFlush(Context& ctx) {
       CopyPage(MasterPtr(page), WorkingPtr(ctx.unit(), page));
       pl.exclusive = false;
     } else if (pl.twin_valid) {
+      MergeWriteShards(ctx.unit(), page, &ctx.stats());
       ApplyOutgoingDiff(WorkingPtr(ctx.unit(), page), TwinPtr(ctx.unit(), page),
                         MasterPtr(page), true, &TwinMap(ctx.unit(), page));
     }
@@ -898,7 +979,7 @@ void CashmereProtocol::RelocateSuperpage(Context& ctx, std::size_t sp, UnitId ne
       }
     }
     opl.exclusive = false;
-    opl.twin_valid = false;
+    opl.SetTwinValid(false);
     opl.dirty_mask = 0;
 
     PageLocal& npl = new_us.Page(page);
@@ -910,7 +991,7 @@ void CashmereProtocol::RelocateSuperpage(Context& ctx, std::size_t sp, UnitId ne
         (*deps_.arenas)[static_cast<std::size_t>(new_home)]->PagePtr(page);
     CopyPage(new_master, old_master);
     deps_.hub->AccountWrite(Traffic::kPageData, kPageBytes);
-    npl.twin_valid = false;
+    npl.SetTwinValid(false);
     npl.ever_valid = true;
     npl.update_ts.store(new_us.Tick(), std::memory_order_release);
     // The old home's frame still holds the current data.

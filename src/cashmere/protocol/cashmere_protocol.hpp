@@ -91,10 +91,14 @@ class CashmereProtocol : public RequestHandler {
   void FinalFlush(Context& ctx);
 
   // Software fault mode only: records that [offset, offset + bytes) of
-  // `page` is about to be written, marking the twin's dirty-block map so
-  // diff scans can skip untouched blocks. No-op while the page has no
-  // twin (master-sharing, exclusive mode, or no local writer).
-  void NoteLocalWrite(UnitId unit, PageId page, std::size_t offset, std::size_t bytes);
+  // `page` is about to be written by the processor at `local_index` of
+  // `unit`, so diff scans can skip untouched blocks. Lock-free: the mark
+  // lands in the calling processor's own dirty-map shard (stamped with the
+  // current twin generation) via relaxed atomics; flushes OR-fold the
+  // shards into the twin's map under the page lock. No-op while the page
+  // has no live twin (master-sharing, exclusive mode, or no local writer).
+  void NoteLocalWrite(UnitId unit, int local_index, PageId page, std::size_t offset,
+                      std::size_t bytes);
 
   // --- Introspection (tests) ---------------------------------------------
   PageLocal& PageState(UnitId unit, PageId page) { return Unit(unit).Page(page); }
@@ -102,6 +106,10 @@ class CashmereProtocol : public RequestHandler {
   bool UnitAtMaster(UnitId unit, PageId page) const;
   std::byte* MasterPtr(PageId page) const;
   std::byte* WorkingPtr(UnitId unit, PageId page) const;
+  // Takes the page lock, folds the unit's shards into the twin's map, and
+  // returns that map — lets tests assert that concurrently-noted writes
+  // are never lost, without reaching into the flush paths.
+  const DirtyBlockMap& MergedTwinMapForTesting(UnitId unit, PageId page);
 
  private:
   // Fault machinery.
@@ -121,11 +129,24 @@ class CashmereProtocol : public RequestHandler {
   void FlushPage(Context& ctx, PageLocal& pl, PageId page, std::uint64_t release_start,
                  bool barrier_arrival);
   void SendWriteNotices(Context& ctx, PageId page);
-  // Block-scans working-vs-twin (restricted by the dirty map), ships the
-  // RLE runs to the home node's master copy as MC remote writes, and
-  // records the diff-scan statistics. Page lock held. Returns the number
-  // of modified words.
-  std::size_t FlushOutgoingDiffRuns(Context& ctx, PageId page, bool flush_update);
+  // Result of one outgoing diff flush: modified words (drives the DiffOut
+  // virtual-time charge) and the bytes the transfer occupies on the serial
+  // MC bus — payload only by default, payload + run headers under the
+  // charge_diff_run_headers cost variant.
+  struct FlushResult {
+    std::size_t words = 0;
+    std::size_t bus_bytes = 0;
+  };
+  // Merges the unit's write-tracking shards into the twin's map, block-scans
+  // working-vs-twin (restricted by the map), serializes the RLE runs into
+  // the flusher's wire buffer in the message layer, and replays them into
+  // the home node's master copy as MC remote writes. Page lock held.
+  FlushResult FlushOutgoingDiffRuns(Context& ctx, PageId page, bool flush_update);
+  // OR-folds every local shard stamped with the current twin generation
+  // into the twin's master map; stale-generation shards are skipped. Page
+  // lock held (twin_gen cannot change mid-merge). `stats` (may be null)
+  // receives the kDirtyShardMerges count.
+  void MergeWriteShards(UnitId unit, PageId page, Stats* stats);
 
   // Directory helpers (charge costs, honour the global-lock ablation).
   void UpdateDirWord(Context& ctx, PageId page, DirWord word);
@@ -143,11 +164,15 @@ class CashmereProtocol : public RequestHandler {
   DirtyBlockMap& TwinMap(UnitId unit, PageId page) const {
     return (*deps_.twins)[static_cast<std::size_t>(unit)]->Map(page);
   }
+  DirtyMapShard& WriteShard(UnitId unit, PageId page, int local_index) const {
+    return (*deps_.twins)[static_cast<std::size_t>(unit)]->Shard(page, local_index);
+  }
   // Initializes the dirty map at twin creation (page lock held): exact
   // tracking is possible only when every subsequent write is visible
   // (software fault mode with no pre-existing writer); otherwise the map
-  // is conservatively full.
-  void InitTwinMap(const PageLocal& pl, UnitId unit, PageId page);
+  // is conservatively full. Counts still-marked shards of earlier twin
+  // generations as discarded (kDirtyShardStaleDrops).
+  void InitTwinMap(Context& ctx, const PageLocal& pl, UnitId unit, PageId page);
   ProcId GlobalProc(UnitId unit, int local_index) const {
     return cfg_.FirstProcOfUnit(unit) + local_index;
   }

@@ -126,17 +126,27 @@ inline void ScanPairBlocks(const std::byte* a, const std::byte* b, const DirtyBl
   }
   // Restricted scan: iterate the set bits of the map directly, so the cost
   // is proportional to the number of ever-dirty blocks, not the page size.
+  // Snapshot the words once — the map is monotone, so a racing mark missed
+  // here is covered by the marking writer's own later flush.
+  std::uint64_t snapshot[DirtyBlockMap::kMapWords];
+  std::size_t marked = 0;
   for (std::size_t w = 0; w < DirtyBlockMap::kMapWords; ++w) {
-    std::uint64_t bits = dirty->Word(w);
-    if (scan != nullptr) {
-      const auto marked = static_cast<std::uint64_t>(std::popcount(bits));
-      scan->blocks_scanned += marked;
-      scan->blocks_skipped += 64 - marked;
-    }
+    snapshot[w] = dirty->Word(w);
+    marked += static_cast<std::size_t>(std::popcount(snapshot[w]));
+  }
+  if (scan != nullptr) {
+    scan->blocks_scanned += marked;
+    scan->blocks_skipped += kBlocksPerPage - marked;
+  }
+  // Density cutover: on a mostly-dirty page the prefilter cannot skip
+  // enough blocks to pay for its extra pass, so use the plain word walk.
+  const bool prefilter = chunked && marked <= kDiffDenseCutoverBlocks;
+  for (std::size_t w = 0; w < DirtyBlockMap::kMapWords; ++w) {
+    std::uint64_t bits = snapshot[w];
     while (bits != 0) {
       const std::size_t block = w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
       bits &= bits - 1;
-      ScanOneBlock(a, b, block, chunked, on_word);
+      ScanOneBlock(a, b, block, prefilter, on_word);
     }
   }
 }

@@ -73,6 +73,12 @@ class DirtyBlockMap {
   bool Test(std::size_t block) const {
     return (bits_[block / 64].load(std::memory_order_relaxed) & (1ull << (block % 64))) != 0;
   }
+  // ORs a whole map word in (shard merging). Monotone like MarkRange.
+  void OrWord(std::size_t i, std::uint64_t mask) {
+    if (mask != 0) {
+      bits_[i].fetch_or(mask, std::memory_order_relaxed);
+    }
+  }
   bool Any() const {
     for (const auto& w : bits_) {
       if (w.load(std::memory_order_relaxed) != 0) {
@@ -86,6 +92,72 @@ class DirtyBlockMap {
 
  private:
   std::atomic<std::uint64_t> bits_[kMapWords]{};
+};
+
+// Per-processor dirty-map shard: the lock-free side of software-fault-mode
+// write tracking. Each local processor owns one shard per page; only the
+// owner ever writes it (marks, and the lazy reset when the twin generation
+// changes), so the instrumented-write fast path is a couple of relaxed
+// atomic ops with no shared-line contention. The protocol OR-folds shards
+// into the twin's master DirtyBlockMap under the page lock at flush time,
+// and discards shards stamped with a stale twin generation instead of
+// merging them (a stale mark's write either predates the new twin's copy —
+// already in the twin, no diff needed — or the twin was created with
+// WriterCount > 0 and the map is conservatively full anyway).
+struct alignas(64) DirtyMapShard {
+  // Twin generation the bits belong to (PageLocal::twin_gen; odd = live
+  // twin). Written only by the owning processor; readers (the merger, under
+  // the page lock) treat a mismatch as "discard".
+  std::atomic<std::uint64_t> gen{0};
+  std::atomic<std::uint64_t> bits[DirtyBlockMap::kMapWords]{};
+
+  // Owner-only. Re-stamps the shard when `g` differs from the recorded
+  // generation (lazy reset: the merger never writes shards, so a reset can
+  // never race an owner's mark), then ORs the blocks overlapping
+  // [offset, offset + bytes). Because the owner is the only writer, the OR
+  // needs no read-modify-write: a relaxed load + store pair is equivalent
+  // and compiles with no lock prefix, so the common case — a small write
+  // inside one 64-block map word — is a handful of plain loads and stores.
+  void MarkRange(std::uint64_t g, std::size_t offset, std::size_t bytes) {
+    if (gen.load(std::memory_order_relaxed) != g) {
+      for (auto& w : bits) {
+        w.store(0, std::memory_order_relaxed);
+      }
+      // Release: a merger that observes the new stamp also observes the
+      // zeroed words rather than bits of the previous generation.
+      gen.store(g, std::memory_order_release);
+    }
+    const std::size_t first = offset / kBlockBytes;
+    const std::size_t last = (offset + bytes - 1) / kBlockBytes;
+    if (first / 64 == last / 64) {
+      const std::uint64_t mask =
+          (last - first == 63 ? ~0ull : ((1ull << (last - first + 1)) - 1)) << (first % 64);
+      OwnerOr(bits[first / 64], mask);
+      return;
+    }
+    for (std::size_t b = first; b <= last && b < kBlocksPerPage; ++b) {
+      OwnerOr(bits[b / 64], 1ull << (b % 64));
+    }
+  }
+
+  bool AnyMarks() const {
+    for (const auto& w : bits) {
+      if (w.load(std::memory_order_relaxed) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  // Single-writer OR without a lock-prefixed RMW; safe only because no one
+  // but the owning processor ever stores to shard words.
+  static void OwnerOr(std::atomic<std::uint64_t>& w, std::uint64_t mask) {
+    const std::uint64_t old = w.load(std::memory_order_relaxed);
+    if ((old & mask) != mask) {
+      w.store(old | mask, std::memory_order_relaxed);
+    }
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -151,6 +223,13 @@ class DiffBuffer {
 
 // ---------------------------------------------------------------------------
 // Encode / apply.
+
+// Density cutover for map-restricted scans: when more than this many blocks
+// are marked, the SIMD XOR prefilter is pure overhead (few blocks can be
+// skipped, and dirty blocks pay both the wide pass and the atomic confirm
+// loads), so the scan falls back to the straight word-at-a-time walk of the
+// marked blocks. Results and statistics are unaffected — only host time.
+inline constexpr std::size_t kDiffDenseCutoverBlocks = kBlocksPerPage / 2;
 
 // Block-scans working vs twin and appends every modified word to `out` as
 // RLE runs (runs freely straddle block boundaries). With `flush_update`

@@ -43,9 +43,28 @@ struct PageLocal {
   std::uint8_t proc_perm[kMaxProcsPerNode] = {};  // Perm per local processor
   std::uint8_t dirty_mask = 0;                    // local procs holding the page dirty
   bool twin_valid = false;
+  // Twin generation: incremented (under the page lock, via SetTwinValid)
+  // every time twin_valid toggles, so parity encodes validity (odd ⇔ a
+  // twin is live). The lock-free write-tracking fast path reads it without
+  // the lock and stamps per-processor dirty-map shards with it; shards
+  // stamped with a stale generation are discarded at merge time instead of
+  // polluting a newer twin's map (see DirtyMapShard).
+  std::atomic<std::uint64_t> twin_gen{0};
   bool exclusive = false;   // this unit holds the page in exclusive mode
   ProcId excl_proc = 0;     // processor recorded as the exclusive holder
   bool ever_valid = false;  // the local frame has held a valid copy
+
+  // The only way twin_valid may be changed (page lock held): keeps the
+  // generation's parity in sync with the flag. Idempotent stores (e.g.
+  // re-clearing an already-invalid twin during superpage relocation) do not
+  // bump the generation, so every live twin has exactly one odd generation.
+  void SetTwinValid(bool v) {
+    if (twin_valid == v) {
+      return;
+    }
+    twin_valid = v;
+    twin_gen.fetch_add(1, std::memory_order_release);
+  }
 
   Perm PermOfLocal(int local_index) const {
     return static_cast<Perm>(proc_perm[local_index]);

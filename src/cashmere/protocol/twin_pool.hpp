@@ -40,10 +40,20 @@ class TwinPool {
   // Dirty-block map for the page's twin slot (valid iff the twin is).
   DirtyBlockMap& Map(PageId page) const { return maps_[static_cast<std::size_t>(page)]; }
 
+  // Per-processor dirty-map shard for the page: the lock-free write path
+  // marks here (owner-only writes); flushes OR-fold generation-matching
+  // shards into Map(page) under the page lock. Cache-line sized and
+  // indexed [page][local_index] so concurrent markers never share a line.
+  DirtyMapShard& Shard(PageId page, int local_index) const {
+    return shards_[static_cast<std::size_t>(page) * kMaxProcsPerNode +
+                   static_cast<std::size_t>(local_index)];
+  }
+
  private:
   std::size_t size_;
   std::byte* base_ = nullptr;
   std::unique_ptr<DirtyBlockMap[]> maps_;
+  std::unique_ptr<DirtyMapShard[]> shards_;
 };
 
 }  // namespace cashmere

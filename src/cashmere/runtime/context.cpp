@@ -82,7 +82,8 @@ void Context::EnsureWrite(void* addr, std::size_t bytes) {
     const GlobalAddr page_base = static_cast<GlobalAddr>(page) * kPageBytes;
     const GlobalAddr lo = offset > page_base ? offset : page_base;
     const GlobalAddr hi = end < page_base + kPageBytes ? end : page_base + kPageBytes;
-    runtime_->protocol().NoteLocalWrite(unit_, page, static_cast<std::size_t>(lo - page_base),
+    runtime_->protocol().NoteLocalWrite(unit_, local_index_, page,
+                                        static_cast<std::size_t>(lo - page_base),
                                         static_cast<std::size_t>(hi - lo));
   }
 }

@@ -183,6 +183,77 @@ TEST(DiffEngineTest, DirtyMapRestrictsScanWithoutChangingResult) {
   }
 }
 
+TEST(DiffEngineTest, DensityCutoverBothSidesMatch) {
+  // The restricted scan switches from per-block prefiltered scanning to the
+  // dense word-at-a-time path once more than kDiffDenseCutoverBlocks blocks
+  // are marked. Exercise one count on each side of the threshold: the
+  // encodes, applies, and scan stats must be identical to the word-scan
+  // oracle either way — the cutover is a host-time strategy change only.
+  ASSERT_LT(kDiffDenseCutoverBlocks + 1, kBlocksPerPage);
+  for (const std::size_t nblocks :
+       {kDiffDenseCutoverBlocks, kDiffDenseCutoverBlocks + 1}) {
+    Page base = MakePage(70 + nblocks);
+    Page working = base;
+    DirtyBlockMap map;
+    map.Clear();
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      // One modified word per marked block, at a varying in-block offset
+      // that never hits a block's last word (so runs never merge across
+      // block boundaries and the run count stays one per block).
+      const std::size_t i = b * kWordsPerBlock + (b % (kWordsPerBlock - 1));
+      working[i] ^= 0xC0FFEE00u;
+      map.MarkRange(b * kBlockBytes, 1);
+    }
+    ASSERT_EQ(map.PopCount(), static_cast<int>(nblocks));
+
+    Page twin_ref = base, master_ref = base;
+    const std::size_t n_ref =
+        ApplyOutgoingDiffWordScan(Bytes(working), Bytes(twin_ref), Bytes(master_ref), true);
+
+    SetDiffVerifyForTesting(true);
+    Page twin_rle = base, master_rle = base;
+    DiffBuffer buf;
+    DiffScanStats scan;
+    const std::size_t n_rle =
+        EncodeOutgoingDiff(Bytes(working), Bytes(twin_rle), true, &map, buf, &scan);
+    SetDiffVerifyForTesting(false);
+    ApplyDiffRuns(buf, Bytes(master_rle));
+    EXPECT_EQ(n_rle, n_ref);
+    EXPECT_EQ(master_rle, master_ref);
+    EXPECT_EQ(twin_rle, twin_ref);
+    EXPECT_EQ(buf.run_count(), nblocks);  // isolated words: one run per block
+    EXPECT_EQ(scan.blocks_scanned, nblocks);
+    EXPECT_EQ(scan.blocks_skipped, kBlocksPerPage - nblocks);
+  }
+}
+
+TEST(DiffEngineTest, ShardMarksTrackGenerationsAndStraddles) {
+  DirtyMapShard shard;
+  EXPECT_FALSE(shard.AnyMarks());
+  // First mark against generation 1: single-map-word fast path.
+  shard.MarkRange(1, 0, 1);
+  EXPECT_EQ(shard.gen.load(), 1u);
+  EXPECT_EQ(shard.bits[0].load(), 1u);
+  // A write straddling the block 63 / block 64 boundary spans both map words.
+  shard.MarkRange(1, 64 * kBlockBytes - 4, 8);
+  EXPECT_EQ(shard.bits[0].load(), 1u | (1ull << 63));
+  EXPECT_EQ(shard.bits[1].load(), 1u);
+  // The page's last byte marks the last block.
+  shard.MarkRange(1, kPageBytes - 1, 1);
+  EXPECT_EQ(shard.bits[1].load(), 1u | (1ull << 63));
+  EXPECT_TRUE(shard.AnyMarks());
+  // A mark against a newer twin generation discards the stale bits first.
+  shard.MarkRange(3, 2 * kBlockBytes, kBlockBytes);
+  EXPECT_EQ(shard.gen.load(), 3u);
+  EXPECT_EQ(shard.bits[0].load(), 1ull << 2);
+  EXPECT_EQ(shard.bits[1].load(), 0u);
+  // A full-width mask in one map word must not shift by 64 (UB guard).
+  DirtyMapShard wide;
+  wide.MarkRange(1, 0, 64 * kBlockBytes);
+  EXPECT_EQ(wide.bits[0].load(), ~0ull);
+  EXPECT_EQ(wide.bits[1].load(), 0u);
+}
+
 TEST(DiffEngineTest, MarkRangeCoversStraddlingWrites) {
   DirtyBlockMap map;
   map.Clear();

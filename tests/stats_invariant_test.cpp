@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "cashmere/apps/app.hpp"
+#include "cashmere/runtime/runtime.hpp"
 
 namespace cashmere {
 namespace {
@@ -74,6 +75,12 @@ TEST_P(StatsInvariantTest, AccountingIsInternallyConsistent) {
   // Time categories are all accounted and non-negative by construction;
   // user time must be nonzero for any real run.
   EXPECT_GT(s.time_ns[static_cast<int>(TimeCategory::kUser)], 0u);
+  // SIGSEGV fault mode never takes the software write-notice path, so the
+  // per-processor shard machinery must stay idle; the run-serialized wire
+  // replay still accounts exactly the bytes the encoder emitted.
+  EXPECT_EQ(s.Get(Counter::kDirtyShardMerges), 0u);
+  EXPECT_EQ(s.Get(Counter::kDirtyShardStaleDrops), 0u);
+  EXPECT_EQ(s.Get(Counter::kDiffRunApplyBytes), s.Get(Counter::kDiffRunBytes));
 }
 
 TEST_P(StatsInvariantTest, GlobalLockVariantMatchesLockFreeCounts) {
@@ -83,6 +90,60 @@ TEST_P(StatsInvariantTest, GlobalLockVariantMatchesLockFreeCounts) {
   const AppRunResult locked =
       RunVariant(GetParam().kind, ProtocolVariant::kTwoLevelGlobalLock);
   ASSERT_TRUE(locked.verified);
+}
+
+// Software fault mode exercises the full shard lifecycle: marks folded into
+// the twin's map at flush (merges), and marks left over from a dead twin
+// discarded — not merged — when the next twin is created (stale drops).
+TEST(ShardStatsInvariantTest, SoftwareModeCountsMergesAndStaleDrops) {
+  Config cfg;
+  cfg.protocol = ProtocolVariant::kTwoLevel;
+  cfg.nodes = 2;
+  cfg.procs_per_node = 2;
+  cfg.heap_bytes = 256 * 1024;
+  cfg.time_scale = 5.0;
+  cfg.first_touch = false;
+  cfg.fault_mode = FaultMode::kSoftware;
+  Runtime rt(cfg);
+  const GlobalAddr addr = rt.heap().AllocPageAligned(kPageBytes);
+
+  rt.Run([&](Context& ctx) {
+    std::uint32_t* p = ctx.Ptr<std::uint32_t>(addr);
+    if (ctx.unit() == 0 && ctx.local_index() == 0) {
+      // Register unit 0 in the sharing set so unit 1 writes through a twin
+      // rather than claiming the page exclusively.
+      ctx.EnsureWrite(p, sizeof(std::uint32_t));
+      p[0] = 0xA0u;
+    }
+    ctx.Barrier(0);
+    if (ctx.unit() == 1 && ctx.local_index() == 0) {
+      // First twin: the write fault creates it, NoteLocalWrite marks this
+      // processor's shard, and the barrier flush OR-folds the shard into
+      // the twin map (a merge) before tearing the twin down.
+      ctx.EnsureWrite(p + 1, sizeof(std::uint32_t));
+      p[1] = 0xA1u;
+    }
+    ctx.Barrier(1);
+    if (ctx.unit() == 1 && ctx.local_index() == 0) {
+      // Second twin: the shard still carries the dead twin's marks (owners
+      // reset lazily), so twin creation must count it as a stale drop.
+      ctx.EnsureWrite(p + 2, sizeof(std::uint32_t));
+      p[2] = 0xA2u;
+    }
+    ctx.Barrier(2);
+    if (ctx.unit() == 0 && ctx.local_index() == 0) {
+      ctx.EnsureRead(p, 3 * sizeof(std::uint32_t));
+      EXPECT_EQ(p[0], 0xA0u);
+      EXPECT_EQ(p[1], 0xA1u);
+      EXPECT_EQ(p[2], 0xA2u);
+    }
+    ctx.Barrier(3);
+  });
+
+  const Stats& s = rt.report().total;
+  EXPECT_GT(s.Get(Counter::kDirtyShardMerges), 0u);
+  EXPECT_GT(s.Get(Counter::kDirtyShardStaleDrops), 0u);
+  EXPECT_EQ(s.Get(Counter::kDiffRunApplyBytes), s.Get(Counter::kDiffRunBytes));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllApps, StatsInvariantTest,

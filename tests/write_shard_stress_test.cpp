@@ -1,0 +1,215 @@
+// Stress test for the lock-free per-processor write-tracking shards: all
+// procs_per_unit processors of one unit hammer NoteLocalWrite on shared
+// pages (relaxed fetch_or into their own shards, no lock) while a processor
+// of another unit concurrently OR-folds the shards into the twin's map
+// under the page lock and diff-scans the racing working copy. The merged
+// map must cover every write a writer has published, mid-run and at the
+// end; the closing barrier's real flush (merge → encode → wire replay)
+// must land every written word in the master copy.
+//
+// This file is the TSan gate for the lock-free fast path: it drives
+// NoteLocalWrite and the merge/diff machinery directly, with all test-level
+// communication through release/acquire publication.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "cashmere/common/rng.hpp"
+#include "cashmere/protocol/diff.hpp"
+#include "cashmere/runtime/runtime.hpp"
+
+namespace cashmere {
+namespace {
+
+constexpr int kWritesPerProc = 1500;
+constexpr int kPagesUnderTest = 2;
+
+Config StressConfig() {
+  Config cfg;
+  cfg.protocol = ProtocolVariant::kTwoLevel;
+  cfg.nodes = 2;
+  cfg.procs_per_node = kMaxProcsPerNode;
+  cfg.heap_bytes = 512 * 1024;
+  cfg.superpage_pages = 4;
+  cfg.time_scale = 5.0;
+  cfg.first_touch = false;
+  cfg.fault_mode = FaultMode::kSoftware;
+  return cfg;
+}
+
+// Word a writer owns within a block: one word per local processor, so the
+// application-level stores are data-race free among the hammering threads.
+std::size_t OwnedWord(std::size_t block, int local_index) {
+  return block * kWordsPerBlock + static_cast<std::size_t>(local_index);
+}
+
+std::uint32_t ValueOf(int page_sel, std::size_t word) {
+  return 0x51000000u | (static_cast<std::uint32_t>(page_sel) << 16) |
+         static_cast<std::uint32_t>(word);
+}
+
+// Per-writer publication log: the writer marks its shard (NoteLocalWrite),
+// stores the value, records the (page, block) entry, then publishes the
+// count with release. A checker that acquires the count therefore sees the
+// shard marks for every entry it reads.
+struct alignas(64) WriteLog {
+  std::atomic<int> n{0};
+  std::uint16_t entries[kWritesPerProc];  // block | (page_sel << 8)
+};
+
+TEST(WriteShardStressTest, ConcurrentMergeCoversEveryPublishedWrite) {
+  const Config cfg = StressConfig();
+  Runtime rt(cfg);
+  const int writers = cfg.procs_per_unit();
+  GlobalAddr addrs[kPagesUnderTest];
+  PageId pages[kPagesUnderTest];
+  for (int s = 0; s < kPagesUnderTest; ++s) {
+    addrs[s] = rt.heap().AllocPageAligned(kPageBytes);
+    pages[s] = static_cast<PageId>(addrs[s] / kPageBytes);
+  }
+  std::vector<WriteLog> logs(static_cast<std::size_t>(writers));
+  std::atomic<int> twins_ready{0};
+  std::atomic<int> writers_done{0};
+  std::atomic<bool> final_check_done{false};
+
+  rt.Run([&](Context& ctx) {
+    if (ctx.unit() == 0 && ctx.local_index() == 0) {
+      // Register unit 0 in the sharing set so unit 1 takes the shared
+      // write path (twin + shards) instead of claiming exclusive mode.
+      for (int s = 0; s < kPagesUnderTest; ++s) {
+        std::uint32_t* p = ctx.Ptr<std::uint32_t>(addrs[s]);
+        ctx.EnsureWrite(p, sizeof(std::uint32_t));
+        p[0] = ValueOf(s, 0);
+      }
+    }
+    // The barrier is the last sync until the hammer phase ends: a later
+    // barrier would flush and tear down the twins mid-phase.
+    ctx.Barrier(0);
+
+    if (ctx.unit() == 1) {
+      const int li = ctx.local_index();
+      if (li == 0) {
+        // One write fault per page creates the twins; the flag's release
+        // publishes the odd twin generation to the other writers.
+        for (int s = 0; s < kPagesUnderTest; ++s) {
+          std::uint32_t* p = ctx.Ptr<std::uint32_t>(addrs[s]);
+          ctx.EnsureWrite(p, sizeof(std::uint32_t));
+          p[0] = ValueOf(s, 0);
+        }
+        twins_ready.store(1, std::memory_order_release);
+      } else {
+        ctx.IdleWhile([&] { return twins_ready.load(std::memory_order_acquire) == 0; });
+      }
+      // Hammer: mark the shard, store the value, publish the entry. No
+      // page lock is taken anywhere in this loop.
+      WriteLog& log = logs[static_cast<std::size_t>(li)];
+      SplitMix64 rng(77 + static_cast<std::uint64_t>(ctx.proc()));
+      CashmereProtocol& prot = rt.protocol();
+      for (int k = 0; k < kWritesPerProc; ++k) {
+        const int s = static_cast<int>(rng.NextBelow(kPagesUnderTest));
+        const std::size_t block = rng.NextBelow(kBlocksPerPage);
+        const std::size_t word = OwnedWord(block, li);
+        prot.NoteLocalWrite(1, li, pages[s], word * kWordBytes, kWordBytes);
+        StoreWord32Relaxed(prot.WorkingPtr(1, pages[s]), word,
+                           ValueOf(s, word));
+        log.entries[k] =
+            static_cast<std::uint16_t>(block | (static_cast<unsigned>(s) << 8));
+        log.n.store(k + 1, std::memory_order_release);
+      }
+      writers_done.fetch_add(1, std::memory_order_release);
+      // Keep polling (to serve any unit-0 fetches) until the checker has
+      // taken its final look at the un-flushed shards.
+      ctx.IdleWhile([&] { return !final_check_done.load(std::memory_order_acquire); });
+    } else if (ctx.local_index() == 0) {
+      // Checker: repeatedly merge the shards under the page lock and
+      // verify coverage of everything published since the last round (the
+      // maps are monotone while the twin lives, so once-covered entries
+      // stay covered); every few rounds also run a full diff scan over the
+      // racing working copy (into private twin/master images) to exercise
+      // the flush-side read path concurrently with the markers. Coverage
+      // failures are recorded and reported after the flag is set — an
+      // early return here would strand the spinning writers.
+      std::vector<std::uint32_t> priv_twin(kWordsPerPage);
+      std::vector<std::uint32_t> priv_master(kWordsPerPage);
+      int checked[kMaxProcsPerNode] = {};
+      int missing = 0;
+      int rounds = 0;
+      for (;;) {
+        const bool last =
+            writers_done.load(std::memory_order_acquire) == writers;
+        int counts[kMaxProcsPerNode] = {};
+        for (int w = 0; w < writers; ++w) {
+          counts[w] = logs[static_cast<std::size_t>(w)].n.load(std::memory_order_acquire);
+        }
+        const DirtyBlockMap* merged[kPagesUnderTest];
+        for (int s = 0; s < kPagesUnderTest; ++s) {
+          merged[s] = &rt.protocol().MergedTwinMapForTesting(1, pages[s]);
+        }
+        for (int w = 0; w < writers; ++w) {
+          for (int k = checked[w]; k < counts[w]; ++k) {
+            const std::uint16_t e = logs[static_cast<std::size_t>(w)].entries[k];
+            if (!merged[e >> 8]->Test(e & 0xFFu)) {
+              ++missing;
+            }
+          }
+          checked[w] = counts[w];
+        }
+        if (++rounds % 4 == 0) {
+          const int s = (rounds / 4) % kPagesUnderTest;
+          std::byte* working = rt.protocol().WorkingPtr(1, pages[s]);
+          DirtyBlockMap restrict_map;
+          restrict_map.Clear();
+          for (std::size_t i = 0; i < DirtyBlockMap::kMapWords; ++i) {
+            restrict_map.OrWord(i, merged[s]->Word(i));
+          }
+          ApplyOutgoingDiff(working,
+                            reinterpret_cast<std::byte*>(priv_twin.data()),
+                            reinterpret_cast<std::byte*>(priv_master.data()),
+                            /*flush_update=*/true, &restrict_map);
+        }
+        if (last) {
+          break;
+        }
+        ctx.Poll();
+      }
+      final_check_done.store(true, std::memory_order_release);
+      EXPECT_EQ(missing, 0) << "published writes absent from the merged map";
+    } else {
+      ctx.IdleWhile([&] { return !final_check_done.load(std::memory_order_acquire); });
+    }
+    // The closing barrier flushes unit 1's pages: shard merge → restricted
+    // scan → run serialization → wire replay into the master copies.
+    ctx.Barrier(1);
+    if (ctx.unit() == 0 && ctx.local_index() == 0) {
+      for (int s = 0; s < kPagesUnderTest; ++s) {
+        const std::uint32_t* p = ctx.Ptr<const std::uint32_t>(addrs[s]);
+        ctx.EnsureRead(p, kPageBytes);
+        for (int w = 0; w < writers; ++w) {
+          const WriteLog& log = logs[static_cast<std::size_t>(w)];
+          const int n = log.n.load(std::memory_order_acquire);
+          for (int k = 0; k < n; ++k) {
+            const std::uint16_t e = log.entries[k];
+            if ((e >> 8) != static_cast<unsigned>(s)) {
+              continue;
+            }
+            const std::size_t word = OwnedWord(e & 0xFFu, w);
+            EXPECT_EQ(p[word], ValueOf(s, word))
+                << "page " << s << " word " << word << " lost after flush";
+          }
+        }
+      }
+    }
+    ctx.Barrier(2);
+  });
+
+  // The real flush merged marked shards, and the wire replay accounted
+  // exactly the bytes the encoder emitted.
+  const Stats& total = rt.report().total;
+  EXPECT_GT(total.Get(Counter::kDirtyShardMerges), 0u);
+  EXPECT_EQ(total.Get(Counter::kDiffRunApplyBytes), total.Get(Counter::kDiffRunBytes));
+}
+
+}  // namespace
+}  // namespace cashmere
