@@ -86,7 +86,7 @@ inline AppRunResult RunExperiment(AppKind kind, const ProtocolColumn& column,
   cfg.home_opt = column.home_opt;
   cfg.nodes = shape.nodes();
   cfg.procs_per_node = shape.ppn;
-  cfg.cost_scale = 0.0;  // auto: preserve the paper's compute/comm ratio
+  cfg.cost.scale = 0.0;  // auto: preserve the paper's compute/comm ratio
   return RunApp(kind, cfg, size_class);
 }
 

@@ -21,7 +21,7 @@ AppRunResult RunOnce(AppKind kind, ProtocolVariant v, DeliveryMode delivery,
   cfg.nodes = 8;
   cfg.procs_per_node = 4;
   cfg.delivery = delivery;
-  cfg.cost_scale = 0.0;  // auto: preserve the paper's compute/comm ratio
+  cfg.cost.scale = 0.0;  // auto: preserve the paper's compute/comm ratio
   return RunApp(kind, cfg, size_class);
 }
 

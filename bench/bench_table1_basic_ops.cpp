@@ -191,7 +191,7 @@ void PrintMeasuredSyncCosts() {
     cfg.nodes = 2;
     cfg.procs_per_node = 1;
     cfg.heap_bytes = 64 * 1024;
-    cfg.time_scale = 1.0;
+    cfg.cost.time_scale = 1.0;
     Runtime rt(cfg);
     constexpr int kIters = 100;
     rt.Run([&](Context& ctx) {
@@ -211,7 +211,7 @@ void PrintMeasuredSyncCosts() {
     cfg.nodes = 2;
     cfg.procs_per_node = 1;
     cfg.heap_bytes = 64 * 1024;
-    cfg.time_scale = 1.0;
+    cfg.cost.time_scale = 1.0;
     Runtime rt(cfg);
     constexpr int kIters = 100;
     rt.Run([&](Context& ctx) {

@@ -1,60 +1,84 @@
 #include "cashmere/apps/app.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <map>
 #include <mutex>
 
-#include "cashmere/apps/apps.hpp"
 #include "cashmere/common/calibration.hpp"
 #include "cashmere/common/logging.hpp"
 
 namespace cashmere {
 
-const char* AppName(AppKind kind) {
-  switch (kind) {
-    case AppKind::kSor:
-      return "SOR";
-    case AppKind::kLu:
-      return "LU";
-    case AppKind::kWater:
-      return "Water";
-    case AppKind::kTsp:
-      return "TSP";
-    case AppKind::kGauss:
-      return "Gauss";
-    case AppKind::kIlink:
-      return "Ilink";
-    case AppKind::kEm3d:
-      return "Em3d";
-    case AppKind::kBarnes:
-      return "Barnes";
+namespace {
+
+// Filled by App::Register during static initialization (each app's .cpp
+// holds a CASHMERE_REGISTER_APP object). Function-local static so the table
+// exists before the first cross-TU registration call.
+struct AppRegistry {
+  std::array<App::Factory, kNumApps> factories{};
+  std::array<const char*, kNumApps> names{};
+};
+
+AppRegistry& Registry() {
+  static AppRegistry registry;
+  return registry;
+}
+
+}  // namespace
+
+bool App::Register(AppKind kind, const char* name, Factory factory) {
+  AppRegistry& r = Registry();
+  const int k = static_cast<int>(kind);
+  CSM_CHECK(k >= 0 && k < kNumApps);
+  CSM_CHECK(r.factories[static_cast<std::size_t>(k)] == nullptr);
+  r.factories[static_cast<std::size_t>(k)] = factory;
+  r.names[static_cast<std::size_t>(k)] = name;
+  return true;
+}
+
+std::unique_ptr<IApp> App::Create(const std::string& name, int size_class) {
+  AppKind kind;
+  if (!Lookup(name, &kind)) {
+    return nullptr;
   }
-  return "?";
+  return MakeApp(kind, size_class);
+}
+
+std::vector<std::string> App::Names() {
+  std::vector<std::string> names;
+  names.reserve(kNumApps);
+  for (int k = 0; k < kNumApps; ++k) {
+    const char* name = Registry().names[static_cast<std::size_t>(k)];
+    if (name != nullptr) {
+      names.emplace_back(name);
+    }
+  }
+  return names;
+}
+
+bool App::Lookup(const std::string& name, AppKind* kind) {
+  for (int k = 0; k < kNumApps; ++k) {
+    const char* n = Registry().names[static_cast<std::size_t>(k)];
+    if (n != nullptr && name == n) {
+      *kind = static_cast<AppKind>(k);
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* AppName(AppKind kind) {
+  const char* name = Registry().names[static_cast<std::size_t>(kind)];
+  return name != nullptr ? name : "?";
 }
 
 std::unique_ptr<IApp> MakeApp(AppKind kind, int size_class) {
-  switch (kind) {
-    case AppKind::kSor:
-      return std::make_unique<SorApp>(size_class);
-    case AppKind::kLu:
-      return std::make_unique<LuApp>(size_class);
-    case AppKind::kWater:
-      return std::make_unique<WaterApp>(size_class);
-    case AppKind::kTsp:
-      return std::make_unique<TspApp>(size_class);
-    case AppKind::kGauss:
-      return std::make_unique<GaussApp>(size_class);
-    case AppKind::kIlink:
-      return std::make_unique<IlinkApp>(size_class);
-    case AppKind::kEm3d:
-      return std::make_unique<Em3dApp>(size_class);
-    case AppKind::kBarnes:
-      return std::make_unique<BarnesApp>(size_class);
-  }
-  CSM_CHECK(false);
-  return nullptr;
+  const App::Factory factory = Registry().factories[static_cast<std::size_t>(kind)];
+  CSM_CHECK(factory != nullptr);
+  return factory(size_class);
 }
 
 namespace {
@@ -133,7 +157,7 @@ double AutoCostScale(AppKind kind, int size_class) {
   probe.protocol = ProtocolVariant::kTwoLevel;
   probe.nodes = 8;
   probe.procs_per_node = 4;
-  probe.cost_scale = 1.0;  // counters are cost-independent
+  probe.cost.scale = 1.0;  // counters are cost-independent
   const AppRunResult r = RunApp(kind, probe, size_class);
   const double our_mbytes =
       static_cast<double>(r.report.total.Get(Counter::kDataBytes)) / (1024.0 * 1024.0);
@@ -150,8 +174,8 @@ AppRunResult RunApp(AppKind kind, Config cfg, int size_class) {
   cfg.heap_bytes =
       ((app->HeapBytes() + app->HeapBytes() / 4 + 64 * 1024 + kPageBytes - 1) / kPageBytes) *
       kPageBytes;
-  if (cfg.cost_scale == 0.0) {
-    cfg.cost_scale = AutoCostScale(kind, size_class);
+  if (cfg.cost.scale == 0.0) {
+    cfg.cost.scale = AutoCostScale(kind, size_class);
   }
   AppRunResult result;
   result.kind = kind;
@@ -161,6 +185,7 @@ AppRunResult RunApp(AppKind kind, Config cfg, int size_class) {
     Runtime rt(cfg, app->Sync());
     result.parallel_checksum = app->RunParallel(rt);
     result.report = rt.report();
+    result.trace = rt.TakeTraceLog();
   }
   // Oversubscription-dilation correction (see VirtualClock::user_host_ns):
   // on a host with fewer cores than emulated processors, measured per-thread
@@ -174,14 +199,15 @@ AppRunResult RunApp(AppKind kind, Config cfg, int size_class) {
                               : 1.0;
   if (dilation > 1.2 || dilation < 0.8) {
     const double base_scale =
-        cfg.time_scale > 0 ? cfg.time_scale : HostToAlphaTimeScale();
+        cfg.cost.time_scale > 0 ? cfg.cost.time_scale : HostToAlphaTimeScale();
     Config corrected = cfg;
-    corrected.time_scale =
+    corrected.cost.time_scale =
         base_scale / std::clamp(dilation, 0.25, 100.0);
     auto app2 = MakeApp(kind, size_class);
     Runtime rt(corrected, app2->Sync());
     result.parallel_checksum = app2->RunParallel(rt);
     result.report = rt.report();
+    result.trace = rt.TakeTraceLog();  // streams of the run that counts
   }
   result.cfg = cfg;
   const double tol = app->Tolerance();

@@ -7,9 +7,11 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cashmere/common/config.hpp"
 #include "cashmere/common/stats.hpp"
+#include "cashmere/common/trace.hpp"
 #include "cashmere/runtime/runtime.hpp"
 
 namespace cashmere {
@@ -62,6 +64,37 @@ class IApp {
 
 std::unique_ptr<IApp> MakeApp(AppKind kind, int size_class);
 
+// --- Factory registry -----------------------------------------------------
+// Each application .cpp self-registers at static-initialization time via
+// CASHMERE_REGISTER_APP; the drivers and tests dispatch by name through this
+// table, so adding a workload needs no edits outside its own translation
+// unit. cashmere_apps is an OBJECT library so the registration objects are
+// always linked (a static archive would dead-strip them).
+class App {
+ public:
+  using Factory = std::unique_ptr<IApp> (*)(int size_class);
+
+  // Creates the application registered under `name` (exact match, e.g.
+  // "SOR"); nullptr if no such registration exists.
+  static std::unique_ptr<IApp> Create(const std::string& name, int size_class);
+  // Registered application names, in AppKind order.
+  static std::vector<std::string> Names();
+  // Name -> kind lookup (for drivers that key experiments by AppKind).
+  static bool Lookup(const std::string& name, AppKind* kind);
+
+  // Called by CASHMERE_REGISTER_APP; returns true so the macro can bind the
+  // call to a namespace-scope constant's initializer.
+  static bool Register(AppKind kind, const char* name, Factory factory);
+};
+
+// Registers `cls` (constructible from an int size class) under `name`.
+// Place at namespace scope in the application's .cpp.
+#define CASHMERE_REGISTER_APP(cls, kind, name)                                 \
+  [[maybe_unused]] const bool cls##_registered = ::cashmere::App::Register(    \
+      kind, name, [](int size_class) -> std::unique_ptr<::cashmere::IApp> {    \
+        return std::make_unique<cls>(size_class);                              \
+      })
+
 // One full experiment: run the app on `cfg`, verify against the sequential
 // reference, and compute the modeled speedup.
 struct AppRunResult {
@@ -74,6 +107,9 @@ struct AppRunResult {
   double seq_host_seconds = 0.0;    // measured, uninstrumented, this host
   double seq_alpha_seconds = 0.0;   // scaled to the emulated 233 MHz Alpha
   double speedup = 0.0;             // seq_alpha_seconds / virtual exec time
+  // Event streams of the run that produced `report` (the dilation-corrected
+  // rerun when one happened); non-null iff cfg.trace.enabled.
+  std::shared_ptr<TraceLog> trace;
 };
 
 AppRunResult RunApp(AppKind kind, Config cfg, int size_class);
@@ -85,7 +121,7 @@ void SequentialBaseline(AppKind kind, int size_class, double* host_seconds,
 
 // The cost-model scale factor that restores the paper's compute-to-
 // communication ratio for this app at this (scaled-down) size; cached.
-// Config::cost_scale == 0 in RunApp triggers this automatically.
+// Config::cost.scale == 0 in RunApp triggers this automatically.
 double AutoCostScale(AppKind kind, int size_class);
 
 }  // namespace cashmere

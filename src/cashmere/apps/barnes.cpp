@@ -314,4 +314,6 @@ double BarnesApp::RunSequential() {
   return Checksum(bodies.data(), n);
 }
 
+CASHMERE_REGISTER_APP(BarnesApp, AppKind::kBarnes, "Barnes");
+
 }  // namespace cashmere

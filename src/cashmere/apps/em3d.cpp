@@ -121,4 +121,6 @@ double Em3dApp::RunSequential() {
   return Checksum(e.data(), h.data(), half);
 }
 
+CASHMERE_REGISTER_APP(Em3dApp, AppKind::kEm3d, "Em3d");
+
 }  // namespace cashmere

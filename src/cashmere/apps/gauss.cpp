@@ -147,4 +147,6 @@ double GaussApp::RunSequential() {
   return Checksum(x.data(), n);
 }
 
+CASHMERE_REGISTER_APP(GaussApp, AppKind::kGauss, "Gauss");
+
 }  // namespace cashmere

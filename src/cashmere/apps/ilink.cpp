@@ -131,4 +131,6 @@ double IlinkApp::RunSequential() {
   return total;
 }
 
+CASHMERE_REGISTER_APP(IlinkApp, AppKind::kIlink, "Ilink");
+
 }  // namespace cashmere

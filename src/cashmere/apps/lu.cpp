@@ -222,4 +222,6 @@ double LuApp::RunSequential() {
   return Checksum(a.data(), g);
 }
 
+CASHMERE_REGISTER_APP(LuApp, AppKind::kLu, "LU");
+
 }  // namespace cashmere

@@ -114,4 +114,6 @@ double SorApp::RunSequential() {
   return Checksum(grid.data(), rows_, cols_);
 }
 
+CASHMERE_REGISTER_APP(SorApp, AppKind::kSor, "SOR");
+
 }  // namespace cashmere

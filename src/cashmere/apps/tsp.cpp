@@ -321,4 +321,6 @@ double TspApp::RunSequential() {
   return SolveDfs(*s, root, cities_, 1 << 20);
 }
 
+CASHMERE_REGISTER_APP(TspApp, AppKind::kTsp, "TSP");
+
 }  // namespace cashmere

@@ -189,4 +189,6 @@ double WaterApp::RunSequential() {
   return Checksum(mols.data(), mols_);
 }
 
+CASHMERE_REGISTER_APP(WaterApp, AppKind::kWater, "Water");
+
 }  // namespace cashmere

@@ -33,14 +33,38 @@ bool IsTwoLevel(ProtocolVariant v) {
   return true;
 }
 
+namespace {
+
+// The single registration point for variant switches: every boolean knob
+// that changes protocol behaviour or accounting gets one row here, and
+// Describe() renders the active ones in registration order. Adding a
+// variant means adding a field to its option group and one row below.
+struct VariantFlag {
+  const char* label;  // rendered with a leading space when active
+  bool (*active)(const Config&);
+};
+
+constexpr VariantFlag kVariantFlags[] = {
+    {" home-opt", [](const Config& c) { return c.home_opt; }},
+    {" interrupts", [](const Config& c) { return c.delivery == DeliveryMode::kInterrupt; }},
+    {" run-hdrs", [](const Config& c) { return c.diff.charge_run_headers; }},
+    {" trace", [](const Config& c) { return c.trace.enabled; }},
+};
+
+}  // namespace
+
 std::string Config::Describe() const {
   char buf[160];
-  std::snprintf(buf, sizeof(buf), "%s %d:%d heap=%zuKB pages=%zu sp=%zu%s%s%s",
+  std::snprintf(buf, sizeof(buf), "%s %d:%d heap=%zuKB pages=%zu sp=%zu",
                 ProtocolVariantName(protocol), total_procs(), procs_per_node,
-                heap_bytes / 1024, pages(), superpage_pages, home_opt ? " home-opt" : "",
-                delivery == DeliveryMode::kInterrupt ? " interrupts" : "",
-                charge_diff_run_headers ? " run-hdrs" : "");
-  return buf;
+                heap_bytes / 1024, pages(), superpage_pages);
+  std::string out = buf;
+  for (const VariantFlag& flag : kVariantFlags) {
+    if (flag.active(*this)) {
+      out += flag.label;
+    }
+  }
+  return out;
 }
 
 }  // namespace cashmere

@@ -4,6 +4,7 @@
 #define CASHMERE_COMMON_CONFIG_HPP_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "cashmere/common/cost_model.hpp"
@@ -38,6 +39,50 @@ enum class FaultMode : int {
   kSoftware = 1,   // explicit EnsureRead/EnsureWrite calls (tests/debugging)
 };
 
+// --- Variant option groups ------------------------------------------------
+// The feature switches are grouped by subsystem rather than kept as flat
+// Config fields. Each group is a plain struct with defaults matching the
+// historical flat fields exactly; Config::Describe renders every active
+// variant flag through a single registration table in config.cpp, so a new
+// switch needs one field here and one table row there.
+
+// Diff-engine variants.
+struct DiffTuning {
+  // Cost-model variant: charge the 8-byte DiffRun wire headers (tracked by
+  // the kDiffRunBytes statistic) as Memory Channel diff traffic — they are
+  // accounted in the Table 3 data volume and occupy the serial bus at flush
+  // time. Off by default: on real MC a diff run is raw remote writes of the
+  // modified words and the run descriptors are host-side bookkeeping, so
+  // the paper's numbers charge payload bytes only. Enabling this models a
+  // transport that ships the framed runs themselves (the user-level DSM
+  // framing in PAPERS.md) and must leave the default outputs byte-identical
+  // when off.
+  bool charge_run_headers = false;
+};
+
+// Structured event tracing (common/trace.hpp).
+struct TraceOptions {
+  // Record typed protocol events into per-processor rings. Off by default:
+  // the disabled cost on instrumented paths is one thread-local load.
+  bool enabled = false;
+  // Ring capacity in events per processor (rounded up to a power of two).
+  // 16Ki events x 40 bytes = 640 KB per processor; when a ring wraps, the
+  // oldest events are dropped and counted (Counter::kTraceDrops).
+  std::uint32_t ring_events = 1u << 14;
+};
+
+// Cost-model scaling knobs.
+struct CostTuning {
+  // Multiplier applied to every modeled protocol cost (Runtime applies it
+  // to `costs` at construction). Benchmarks on scaled-down problems set
+  // this to sizeratio-derived values so the compute-to-communication ratio
+  // matches the paper's full-size runs; 1.0 charges the paper's absolute
+  // costs.
+  double scale = 1.0;
+  // Host-to-Alpha user-time scale. 0 means auto-calibrate at startup.
+  double time_scale = 0.0;
+};
+
 struct Config {
   ProtocolVariant protocol = ProtocolVariant::kTwoLevel;
   int nodes = 8;
@@ -57,26 +102,11 @@ struct Config {
   DeliveryMode delivery = DeliveryMode::kPolling;
   FaultMode fault_mode = FaultMode::kSigsegv;
 
-  // Cost-model variant: charge the 8-byte DiffRun wire headers (tracked by
-  // the kDiffRunBytes statistic) as Memory Channel diff traffic — they are
-  // accounted in the Table 3 data volume and occupy the serial bus at flush
-  // time. Off by default: on real MC a diff run is raw remote writes of the
-  // modified words and the run descriptors are host-side bookkeeping, so
-  // the paper's numbers charge payload bytes only. Enabling this models a
-  // transport that ships the framed runs themselves (the user-level DSM
-  // framing in PAPERS.md) and must leave the default outputs byte-identical
-  // when off.
-  bool charge_diff_run_headers = false;
+  DiffTuning diff;
+  TraceOptions trace;
+  CostTuning cost;
 
   CostModel costs;
-  // Multiplier applied to every modeled protocol cost (Runtime applies it
-  // to `costs` at construction). Benchmarks on scaled-down problems set
-  // this to sizeratio-derived values so the compute-to-communication ratio
-  // matches the paper's full-size runs; 1.0 charges the paper's absolute
-  // costs.
-  double cost_scale = 1.0;
-  // Host-to-Alpha user-time scale. 0 means auto-calibrate at startup.
-  double time_scale = 0.0;
   // Abort the run if no processor makes progress for this many seconds of
   // real time (deadlock watchdog); 0 disables.
   double watchdog_seconds = 120.0;

@@ -56,6 +56,10 @@ const char* CounterName(Counter c) {
       return "Dirty Shard Stale Drops";
     case Counter::kDiffRunApplyBytes:
       return "Diff Run Apply Bytes";
+    case Counter::kTraceEvents:
+      return "Trace Events";
+    case Counter::kTraceDrops:
+      return "Trace Drops";
     case Counter::kNumCounters:
       break;
   }

@@ -46,6 +46,9 @@ enum class Counter : int {
   kDirtyShardMerges,     // per-proc shards OR-folded into a twin's map
   kDirtyShardStaleDrops, // marked shards discarded at twin creation (stale gen)
   kDiffRunApplyBytes,    // wire bytes replayed by the run-serialized apply
+  // Structured event tracing (common/trace.hpp).
+  kTraceEvents,          // typed events appended to the per-proc rings
+  kTraceDrops,           // events lost to ring wraparound
   kNumCounters,
 };
 inline constexpr int kNumCounters = static_cast<int>(Counter::kNumCounters);

@@ -1,0 +1,309 @@
+#include "cashmere/common/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "cashmere/common/config.hpp"
+#include "cashmere/common/logging.hpp"
+
+namespace cashmere {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kFaultBegin:
+      return "fault-begin";
+    case EventKind::kFaultEnd:
+      return "fault-end";
+    case EventKind::kTwinCreate:
+      return "twin-create";
+    case EventKind::kTwinDiscard:
+      return "twin-discard";
+    case EventKind::kDiffEncode:
+      return "diff-encode";
+    case EventKind::kDiffApplyIncoming:
+      return "diff-apply-in";
+    case EventKind::kDiffApplyOutgoing:
+      return "diff-apply-out";
+    case EventKind::kPageCopy:
+      return "page-copy";
+    case EventKind::kDirUpdate:
+      return "dir-update";
+    case EventKind::kWnPost:
+      return "wn-post";
+    case EventKind::kWnDrainGlobal:
+      return "wn-drain";
+    case EventKind::kWnConsumeLocal:
+      return "wn-consume";
+    case EventKind::kExclEnter:
+      return "excl-enter";
+    case EventKind::kExclBreak:
+      return "excl-break";
+    case EventKind::kLockAcquire:
+      return "lock-acquire";
+    case EventKind::kLockRelease:
+      return "lock-release";
+    case EventKind::kFlagSet:
+      return "flag-set";
+    case EventKind::kFlagWait:
+      return "flag-wait";
+    case EventKind::kBarrierArrive:
+      return "barrier-arrive";
+    case EventKind::kBarrierDepart:
+      return "barrier-depart";
+    case EventKind::kMcWrite:
+      return "mc-write";
+    case EventKind::kReqSend:
+      return "req-send";
+    case EventKind::kReqServe:
+      return "req-serve";
+    case EventKind::kReqDone:
+      return "req-done";
+    case EventKind::kPageProtect:
+      return "page-protect";
+    case EventKind::kHomeRelocate:
+      return "home-relocate";
+    case EventKind::kNumKinds:
+      break;
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint32_t RoundUpPow2(std::uint32_t v) {
+  std::uint32_t cap = 1;
+  while (cap < v) {
+    cap <<= 1;
+  }
+  return cap;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::uint32_t capacity_events)
+    : slots_(RoundUpPow2(capacity_events < 2 ? 2 : capacity_events)),
+      mask_(slots_.size() - 1) {}
+
+std::uint64_t TraceRing::size() const {
+  const std::uint64_t n = total();
+  return n < slots_.size() ? n : slots_.size();
+}
+
+std::uint64_t TraceRing::dropped() const {
+  const std::uint64_t n = total();
+  return n > slots_.size() ? n - slots_.size() : 0;
+}
+
+void TraceRing::Snapshot(std::vector<TraceEvent>& out) const {
+  const std::uint64_t n = total();
+  const std::uint64_t first = n > slots_.size() ? n - slots_.size() : 0;
+  out.reserve(out.size() + static_cast<std::size_t>(n - first));
+  for (std::uint64_t i = first; i < n; ++i) {
+    out.push_back(slots_[static_cast<std::size_t>(i) & mask_]);
+  }
+}
+
+TraceLog::TraceLog(int procs, std::uint32_t ring_events) {
+  rings_.reserve(static_cast<std::size_t>(procs));
+  for (int p = 0; p < procs; ++p) {
+    rings_.push_back(std::make_unique<TraceRing>(ring_events));
+  }
+}
+
+std::uint64_t TraceLog::TotalEvents() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) {
+    n += r->total();
+  }
+  return n;
+}
+
+std::uint64_t TraceLog::TotalDropped() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) {
+    n += r->dropped();
+  }
+  return n;
+}
+
+void TraceLog::ResetAll() {
+  for (auto& r : rings_) {
+    r->Reset();
+  }
+}
+
+std::vector<TraceEvent> TraceLog::Merged() const {
+  struct Keyed {
+    TraceEvent e;
+    std::uint64_t pos;
+  };
+  std::vector<Keyed> keyed;
+  std::vector<TraceEvent> scratch;
+  for (const auto& r : rings_) {
+    scratch.clear();
+    r->Snapshot(scratch);
+    for (std::size_t i = 0; i < scratch.size(); ++i) {
+      keyed.push_back({scratch[i], i});
+    }
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.e.vt != b.e.vt) {
+      return a.e.vt < b.e.vt;
+    }
+    if (a.e.proc != b.e.proc) {
+      return a.e.proc < b.e.proc;
+    }
+    return a.pos < b.pos;
+  });
+  std::vector<TraceEvent> out;
+  out.reserve(keyed.size());
+  for (const Keyed& k : keyed) {
+    out.push_back(k.e);
+  }
+  return out;
+}
+
+namespace {
+
+// One emitted JSON record. `first` tracks the leading comma.
+void BeginRecord(std::FILE* out, bool* first) {
+  if (*first) {
+    *first = false;
+    std::fprintf(out, "\n  ");
+  } else {
+    std::fprintf(out, ",\n  ");
+  }
+}
+
+void WriteArgs(std::FILE* out, const TraceEvent& e) {
+  std::fprintf(out, "\"args\":{");
+  bool need_comma = false;
+  if (e.page != kNoTracePage) {
+    std::fprintf(out, "\"page\":%" PRIu32, e.page);
+    need_comma = true;
+  }
+  if (e.seq != 0) {
+    std::fprintf(out, "%s\"seq\":%" PRIu32, need_comma ? "," : "", e.seq);
+    need_comma = true;
+  }
+  std::fprintf(out, "%s\"a0\":%" PRIu32 ",\"a1\":%" PRIu64 ",\"host_ns\":%" PRIu64 "}",
+               need_comma ? "," : "", e.a0, e.a1, e.host_ns);
+}
+
+}  // namespace
+
+void WriteChromeTrace(const std::vector<TraceEvent>& merged, const Config& cfg,
+                      std::FILE* out) {
+  std::fprintf(out, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+  bool first = true;
+  // Track metadata: one process per node, one thread per processor.
+  for (int n = 0; n < cfg.nodes; ++n) {
+    BeginRecord(out, &first);
+    std::fprintf(out,
+                 "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\","
+                 "\"args\":{\"name\":\"node %d\"}}",
+                 n, n);
+    BeginRecord(out, &first);
+    std::fprintf(out,
+                 "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_sort_index\","
+                 "\"args\":{\"sort_index\":%d}}",
+                 n, n);
+  }
+  for (ProcId p = 0; p < cfg.total_procs(); ++p) {
+    BeginRecord(out, &first);
+    std::fprintf(out,
+                 "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\","
+                 "\"args\":{\"name\":\"p%d\"}}",
+                 cfg.NodeOfProc(p), p, p);
+  }
+
+  // Duration nesting per track: faults and barrier episodes become B/E
+  // pairs. Tolerate imbalance (wrapped rings) by demoting an unmatched end
+  // to an instant and closing leftovers at the final timestamp.
+  std::vector<int> open_depth(static_cast<std::size_t>(cfg.total_procs()), 0);
+  double last_ts_us = 0.0;
+
+  for (const TraceEvent& e : merged) {
+    const auto kind = static_cast<EventKind>(e.kind);
+    const int pid = cfg.NodeOfProc(static_cast<ProcId>(e.proc));
+    const int tid = e.proc;
+    const double ts_us = static_cast<double>(e.vt) / 1000.0;
+    last_ts_us = ts_us > last_ts_us ? ts_us : last_ts_us;
+    switch (kind) {
+      case EventKind::kFaultBegin:
+      case EventKind::kBarrierArrive: {
+        BeginRecord(out, &first);
+        std::fprintf(out,
+                     "{\"ph\":\"B\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                     "\"name\":\"%s\",",
+                     pid, tid, ts_us,
+                     kind == EventKind::kFaultBegin ? "fault" : "barrier");
+        WriteArgs(out, e);
+        std::fprintf(out, "}");
+        ++open_depth[static_cast<std::size_t>(tid)];
+        break;
+      }
+      case EventKind::kFaultEnd:
+      case EventKind::kBarrierDepart: {
+        if (open_depth[static_cast<std::size_t>(tid)] > 0) {
+          --open_depth[static_cast<std::size_t>(tid)];
+          BeginRecord(out, &first);
+          std::fprintf(out, "{\"ph\":\"E\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f}", pid,
+                       tid, ts_us);
+        } else {
+          BeginRecord(out, &first);
+          std::fprintf(out,
+                       "{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                       "\"name\":\"%s\",",
+                       pid, tid, ts_us, EventKindName(kind));
+          WriteArgs(out, e);
+          std::fprintf(out, "}");
+        }
+        break;
+      }
+      case EventKind::kReqSend:
+      case EventKind::kReqServe:
+      case EventKind::kReqDone: {
+        BeginRecord(out, &first);
+        std::fprintf(out,
+                     "{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                     "\"name\":\"%s\",",
+                     pid, tid, ts_us, EventKindName(kind));
+        WriteArgs(out, e);
+        std::fprintf(out, "}");
+        // Flow arrow: requester -> responder -> requester, keyed by the
+        // (requester, sequence) flow id.
+        const char* ph = kind == EventKind::kReqSend    ? "s"
+                         : kind == EventKind::kReqServe ? "t"
+                                                        : "f";
+        BeginRecord(out, &first);
+        std::fprintf(out,
+                     "{\"ph\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                     "\"cat\":\"req\",\"name\":\"req\",\"id\":\"%" PRIu64 "\"%s}",
+                     ph, pid, tid, ts_us, e.a1,
+                     kind == EventKind::kReqDone ? ",\"bp\":\"e\"" : "");
+        break;
+      }
+      default: {
+        BeginRecord(out, &first);
+        std::fprintf(out,
+                     "{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                     "\"name\":\"%s\",",
+                     pid, tid, ts_us, EventKindName(kind));
+        WriteArgs(out, e);
+        std::fprintf(out, "}");
+        break;
+      }
+    }
+  }
+  for (ProcId p = 0; p < cfg.total_procs(); ++p) {
+    while (open_depth[static_cast<std::size_t>(p)]-- > 0) {
+      BeginRecord(out, &first);
+      std::fprintf(out, "{\"ph\":\"E\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f}",
+                   cfg.NodeOfProc(p), p, last_ts_us);
+    }
+  }
+  std::fprintf(out, "\n]}\n");
+}
+
+}  // namespace cashmere

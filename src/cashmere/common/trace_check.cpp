@@ -1,0 +1,292 @@
+#include "cashmere/common/trace_check.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+
+#include "cashmere/common/config.hpp"
+
+namespace cashmere {
+
+namespace {
+
+struct PageItem {
+  std::uint32_t seq;
+  EventKind kind;
+  std::uint32_t a0;
+  std::uint64_t a1;
+  std::uint16_t proc;
+  std::size_t index;  // position in the merged stream
+};
+
+struct Checker {
+  TraceCheckResult result;
+
+  void Issue(std::size_t index, std::string message) {
+    result.ok = false;
+    if (result.issues.size() < TraceCheckResult::kMaxIssues) {
+      result.issues.push_back({index, std::move(message)});
+    }
+  }
+
+  void Issuef(std::size_t index, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4))) {
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    Issue(index, buf);
+  }
+};
+
+}  // namespace
+
+TraceCheckResult CheckTrace(const std::vector<TraceEvent>& merged, const Config& cfg,
+                            std::uint64_t dropped) {
+  Checker ck;
+  ck.result.events = merged.size();
+  ck.result.dropped = dropped;
+  ck.result.complete = dropped == 0;
+  const bool complete = ck.result.complete;
+
+  const int procs = cfg.total_procs();
+  std::vector<VirtTime> last_vt(static_cast<std::size_t>(procs), 0);
+  std::vector<int> fault_depth(static_cast<std::size_t>(procs), 0);
+  std::vector<int> barrier_depth(static_cast<std::size_t>(procs), 0);
+
+  // Per (unit, page) transition streams, ordered by the page sequence
+  // number stamped under the page lock.
+  std::unordered_map<std::uint64_t, std::vector<PageItem>> per_page;
+  // Per (unit, page, proc) last seq: a single processor's appends must carry
+  // increasing sequence numbers for a given page.
+  std::unordered_map<std::uint64_t, std::uint32_t> last_seq_by_proc;
+  // Flow pairing: flow id -> bitmask of {send=1, serve=2, done=4}.
+  std::unordered_map<std::uint64_t, std::uint8_t> flows;
+
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    const TraceEvent& e = merged[i];
+    const auto kind = static_cast<EventKind>(e.kind);
+    if (static_cast<int>(e.proc) >= procs || static_cast<int>(e.kind) >= kNumEventKinds) {
+      ck.Issuef(i, "malformed event: proc=%u kind=%u", e.proc, e.kind);
+      continue;
+    }
+    const auto p = static_cast<std::size_t>(e.proc);
+    if (e.vt < last_vt[p]) {
+      ck.Issuef(i, "p%u virtual clock regressed: %" PRIu64 " -> %" PRIu64, e.proc,
+                last_vt[p], e.vt);
+    }
+    last_vt[p] = e.vt;
+
+    switch (kind) {
+      case EventKind::kFaultBegin:
+        if (fault_depth[p] != 0) {
+          ck.Issuef(i, "p%u fault-begin while a fault is already open", e.proc);
+        }
+        ++fault_depth[p];
+        break;
+      case EventKind::kFaultEnd:
+        if (fault_depth[p] == 0) {
+          if (complete) {
+            ck.Issuef(i, "p%u fault-end without fault-begin", e.proc);
+          }
+        } else {
+          --fault_depth[p];
+        }
+        break;
+      case EventKind::kBarrierArrive:
+        if (barrier_depth[p] != 0) {
+          ck.Issuef(i, "p%u barrier-arrive while an episode is open", e.proc);
+        }
+        ++barrier_depth[p];
+        break;
+      case EventKind::kBarrierDepart:
+        if (barrier_depth[p] == 0) {
+          if (complete) {
+            ck.Issuef(i, "p%u barrier-depart without barrier-arrive", e.proc);
+          }
+        } else {
+          --barrier_depth[p];
+        }
+        break;
+      case EventKind::kReqSend:
+      case EventKind::kReqServe:
+      case EventKind::kReqDone: {
+        // Pairing is checked at end of stream, not in merged order: the
+        // responder's virtual clock is not ordered against the requester's,
+        // so a serve may legitimately sort before its send.
+        const std::uint8_t bit = kind == EventKind::kReqSend    ? 1
+                                 : kind == EventKind::kReqServe ? 2
+                                                                : 4;
+        flows[e.a1] |= bit;
+        break;
+      }
+      default:
+        break;
+    }
+
+    if (e.seq != 0 && e.page != kNoTracePage) {
+      const auto unit = static_cast<std::uint64_t>(cfg.UnitOfProc(e.proc));
+      const std::uint64_t key = (unit << 32) | e.page;
+      per_page[key].push_back({e.seq, kind, e.a0, e.a1, e.proc, i});
+      std::uint32_t& last = last_seq_by_proc[(static_cast<std::uint64_t>(e.proc) << 56) |
+                                             (unit << 32) | e.page];
+      if (e.seq <= last) {
+        ck.Issuef(i, "p%u page %u seq regressed: %u -> %u", e.proc, e.page, last,
+                  e.seq);
+      }
+      last = e.seq;
+    }
+  }
+
+  for (ProcId p = 0; p < procs; ++p) {
+    if (fault_depth[static_cast<std::size_t>(p)] != 0) {
+      ck.Issuef(merged.size(), "p%d fault still open at end of stream", p);
+    }
+    if (barrier_depth[static_cast<std::size_t>(p)] != 0) {
+      ck.Issuef(merged.size(), "p%d barrier episode still open at end of stream", p);
+    }
+  }
+  if (complete) {
+    for (const auto& [id, mask] : flows) {
+      if ((mask & 2) != 0 && (mask & 1) == 0) {
+        ck.Issuef(merged.size(), "req flow %" PRIu64 " served but never sent", id);
+      }
+      if ((mask & 4) != 0 && (mask & 2) == 0) {
+        ck.Issuef(merged.size(), "req flow %" PRIu64 " completed but never served", id);
+      }
+      if ((mask & 1) != 0 && (mask & 4) == 0) {
+        ck.Issuef(merged.size(), "req flow %" PRIu64 " sent but never completed", id);
+      }
+    }
+  }
+
+  // Per-page invariants in page-sequence order.
+  for (auto& [key, items] : per_page) {
+    const auto unit = static_cast<UnitId>(key >> 32);
+    const auto page = static_cast<PageId>(key & 0xffffffffu);
+    std::sort(items.begin(), items.end(), [](const PageItem& a, const PageItem& b) {
+      return a.seq < b.seq;
+    });
+    bool twin_live = false;
+    bool twin_state_known = complete;  // wrapped streams start mid-lifecycle
+    std::uint64_t last_gen = 0;
+    bool have_gen = false;
+    bool exclusive = false;
+    bool excl_state_known = complete;
+    bool saw_wn_drain = false;
+    std::uint64_t last_dir_clock = 0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const PageItem& it = items[i];
+      if (i > 0 && items[i - 1].seq == it.seq) {
+        ck.Issuef(it.index, "unit %d page %u duplicate transition seq %u", unit, page,
+                  it.seq);
+      }
+      switch (it.kind) {
+        case EventKind::kTwinCreate:
+          if ((it.a1 & 1) == 0) {
+            ck.Issuef(it.index, "unit %d page %u twin created with even generation %" PRIu64,
+                      unit, page, it.a1);
+          }
+          if (twin_state_known && twin_live) {
+            ck.Issuef(it.index, "unit %d page %u twin created while one is live", unit,
+                      page);
+          }
+          if (have_gen && it.a1 <= last_gen) {
+            ck.Issuef(it.index,
+                      "unit %d page %u twin generation regressed: %" PRIu64 " -> %" PRIu64,
+                      unit, page, last_gen, it.a1);
+          }
+          last_gen = it.a1;
+          have_gen = true;
+          twin_live = true;
+          twin_state_known = true;
+          break;
+        case EventKind::kTwinDiscard:
+          if ((it.a1 & 1) != 0) {
+            ck.Issuef(it.index,
+                      "unit %d page %u twin discarded with odd generation %" PRIu64, unit,
+                      page, it.a1);
+          }
+          if (twin_state_known && !twin_live) {
+            ck.Issuef(it.index, "unit %d page %u twin discarded while none is live", unit,
+                      page);
+          }
+          if (have_gen && it.a1 <= last_gen) {
+            ck.Issuef(it.index,
+                      "unit %d page %u twin generation regressed: %" PRIu64 " -> %" PRIu64,
+                      unit, page, last_gen, it.a1);
+          }
+          last_gen = it.a1;
+          have_gen = true;
+          twin_live = false;
+          twin_state_known = true;
+          break;
+        case EventKind::kExclEnter:
+          if (excl_state_known && exclusive) {
+            ck.Issuef(it.index, "unit %d page %u entered exclusive mode twice", unit,
+                      page);
+          }
+          exclusive = true;
+          excl_state_known = true;
+          break;
+        case EventKind::kExclBreak:
+          if (excl_state_known && !exclusive) {
+            ck.Issuef(it.index, "unit %d page %u exclusive break without enter", unit,
+                      page);
+          }
+          exclusive = false;
+          excl_state_known = true;
+          break;
+        case EventKind::kWnDrainGlobal:
+          saw_wn_drain = true;
+          break;
+        case EventKind::kDiffApplyIncoming:
+          if (excl_state_known && exclusive) {
+            ck.Issuef(it.index,
+                      "unit %d page %u received a remote diff while exclusive", unit,
+                      page);
+          }
+          if (complete && it.a1 == 0 && !saw_wn_drain) {
+            ck.Issuef(it.index,
+                      "unit %d page %u diff applied without a preceding write notice",
+                      unit, page);
+          }
+          break;
+        case EventKind::kDirUpdate:
+          if (it.a1 < last_dir_clock) {
+            ck.Issuef(it.index,
+                      "unit %d page %u directory clock regressed: %" PRIu64 " -> %" PRIu64,
+                      unit, page, last_dir_clock, it.a1);
+          }
+          last_dir_clock = it.a1;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  return ck.result;
+}
+
+std::string TraceCheckResult::ToString() const {
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "trace check: %s — %" PRIu64 " events, %" PRIu64 " dropped%s, %zu issue(s)\n",
+                ok ? "OK" : "FAILED", events, dropped,
+                complete ? "" : " (stream incomplete; existence checks skipped)",
+                issues.size());
+  std::string out = head;
+  for (const TraceIssue& issue : issues) {
+    char line[320];
+    std::snprintf(line, sizeof(line), "  [%zu] %s\n", issue.event_index,
+                  issue.message.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace cashmere

@@ -1,0 +1,61 @@
+// Replay invariant checker: walks a merged trace stream and asserts the
+// protocol invariants that must hold in any legal execution, independent of
+// scheduling:
+//
+//   1. Twin lifecycle — a twin is live iff its generation is odd: create
+//      events carry odd generations, discards even, and per (unit, page)
+//      the create/discard sequence alternates with strictly increasing
+//      generations.
+//   2. Write-notice causality — an incoming diff is only merged into a
+//      local copy after a write notice for that page was drained into the
+//      unit (break-exclusive piggybacks are the documented exception and
+//      are flagged in the event).
+//   3. Exclusive isolation — a page in exclusive mode never receives a
+//      remote diff: no diff-apply between an exclusive-enter and the
+//      matching break on the same (unit, page).
+//   4. Directory monotonicity — the unit logical clock stamped on
+//      directory-word updates never regresses per (unit, page).
+//
+// Cross-processor ordering: per-processor virtual clocks are only
+// partially ordered (they reconcile at synchronization), so per-page
+// invariants are ordered by the page transition sequence number
+// (TraceEvent::seq, bumped under the page lock) rather than by timestamp.
+// Existence checks (2, and request/reply pairing) only run on complete
+// streams — rings that wrapped lose their prefix.
+#ifndef CASHMERE_COMMON_TRACE_CHECK_HPP_
+#define CASHMERE_COMMON_TRACE_CHECK_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cashmere/common/trace.hpp"
+
+namespace cashmere {
+
+struct Config;
+
+struct TraceIssue {
+  std::size_t event_index = 0;  // index into the merged stream (~0 if none)
+  std::string message;
+};
+
+struct TraceCheckResult {
+  bool ok = true;
+  bool complete = true;       // no ring wrapped; all invariants were checked
+  std::uint64_t events = 0;   // events examined
+  std::uint64_t dropped = 0;  // events lost to ring wraparound
+  std::vector<TraceIssue> issues;  // capped at kMaxIssues
+
+  static constexpr std::size_t kMaxIssues = 64;
+  std::string ToString() const;
+};
+
+// `merged` must be a TraceLog::Merged()-ordered stream (per-processor
+// append order preserved). `dropped` is TraceLog::TotalDropped().
+TraceCheckResult CheckTrace(const std::vector<TraceEvent>& merged, const Config& cfg,
+                            std::uint64_t dropped);
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_COMMON_TRACE_CHECK_HPP_

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "cashmere/common/logging.hpp"
+#include "cashmere/common/trace.hpp"
 
 namespace cashmere {
 
@@ -55,6 +56,12 @@ void McHub::Write32(std::uint32_t* dst, std::uint32_t value, Traffic t) {
 void McHub::AccountWrite(Traffic t, std::size_t bytes) {
   bytes_[static_cast<int>(t)].fetch_add(bytes, std::memory_order_relaxed);
   writes_[static_cast<int>(t)].fetch_add(1, std::memory_order_relaxed);
+  // Single chokepoint for MC traffic: every Write32/WriteRun/WriteStream/
+  // ordered-broadcast lands here, so one emit covers the hub.
+  if (TraceActive()) {
+    TraceEmit(EventKind::kMcWrite, kNoTracePage, 0, static_cast<std::uint32_t>(t),
+              static_cast<std::uint64_t>(bytes));
+  }
 }
 
 VirtTime McHub::ReserveBus(VirtTime earliest, std::size_t bytes) {

@@ -81,7 +81,7 @@ class McHub {
   // remote writes of the modified words, so by default traffic is accounted
   // as the payload bytes only (run descriptors are host-side bookkeeping,
   // tracked by the kDiffRunBytes statistic, not MC traffic). Under the
-  // Config::charge_diff_run_headers cost variant the caller passes the
+  // Config::diff.charge_run_headers cost variant the caller passes the
   // run's framing overhead as `header_bytes`, which is accounted into the
   // same traffic class without changing the write count.
   void WriteRun(void* dst_base, std::size_t offset_words, const void* payload,

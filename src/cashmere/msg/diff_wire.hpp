@@ -13,7 +13,7 @@
 // node's receive region, performed by the sender's writes themselves. By
 // default traffic accounting is byte-identical to the seed's direct loop
 // (payload bytes, one accounted write per run); the
-// Config::charge_diff_run_headers variant additionally bills the 8-byte
+// Config::diff.charge_run_headers variant additionally bills the 8-byte
 // run headers as diff traffic (see config.hpp).
 #ifndef CASHMERE_MSG_DIFF_WIRE_HPP_
 #define CASHMERE_MSG_DIFF_WIRE_HPP_

@@ -1,6 +1,7 @@
 #include "cashmere/msg/message_layer.hpp"
 
 #include "cashmere/common/logging.hpp"
+#include "cashmere/common/trace.hpp"
 
 namespace cashmere {
 
@@ -24,6 +25,13 @@ MessageLayer::MessageLayer(const Config& cfg)
 std::uint64_t MessageLayer::Send(ProcId from, UnitId dst_unit, Request request) {
   request.from_proc = from;
   request.seq = next_seq_[static_cast<std::size_t>(from)].fetch_add(1) + 1;
+  if (TraceActive()) {
+    // Flow id (requester << 32 | seq) pairs this send with the responder's
+    // kReqServe and the requester's kReqDone in the merged stream.
+    TraceEmit(EventKind::kReqSend, request.page, 0,
+              static_cast<std::uint32_t>(request.kind),
+              (static_cast<std::uint64_t>(from) << 32) | request.seq);
+  }
   const UnitId src_unit = unit_of_proc_[static_cast<std::size_t>(from)];
   Bin& bin = BinOf(dst_unit, src_unit);
   Backoff backoff;
@@ -76,6 +84,10 @@ int MessageLayer::Poll(UnitId my_unit) {
 
 void MessageLayer::Complete(ProcId requester, std::uint64_t seq, std::uint32_t flags,
                             VirtTime responder_vt) {
+  if (TraceActive()) {
+    TraceEmit(EventKind::kReqServe, kNoTracePage, 0, flags,
+              (static_cast<std::uint64_t>(requester) << 32) | seq);
+  }
   ReplySlot& slot = SlotOf(requester);
   slot.flags = flags;
   slot.responder_vt = responder_vt;

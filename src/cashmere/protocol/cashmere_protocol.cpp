@@ -15,6 +15,16 @@ namespace {
 
 inline std::uint8_t Bit(int i) { return static_cast<std::uint8_t>(1u << i); }
 
+// Stamps the per-(unit, page) transition sequence for trace events emitted
+// under the page lock. Returns 0 (no sequence) while tracing is inactive so
+// the counter never moves — and tracing can never perturb — untraced runs.
+inline std::uint32_t NextTraceSeq(PageLocal& pl) {
+  if (!TraceActive()) {
+    return 0;
+  }
+  return pl.trace_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 }  // namespace
 
 CashmereProtocol::CashmereProtocol(Deps deps) : deps_(deps), cfg_(*deps.cfg) {
@@ -56,8 +66,15 @@ void CashmereProtocol::ProtectLocal(Context& ctx, PageLocal& pl, UnitId unit, in
     return;
   }
   pl.SetPermOfLocal(local_index, perm);
-  CSM_TRACE("[p%d] protect page=%u proc=%d perm=%d\n", ctx.proc(), page,
-            GlobalProc(unit, local_index), static_cast<int>(perm));
+  if (TraceActive()) {
+    // Seq only when the transition lands in the emitting processor's own
+    // unit: the checker attributes sequenced events to the emitter's unit,
+    // and superpage relocation mutates the *old* home's page table.
+    TraceEmit(EventKind::kPageProtect, page,
+              unit == ctx.unit() ? NextTraceSeq(pl) : 0,
+              static_cast<std::uint32_t>(perm),
+              static_cast<std::uint64_t>(GlobalProc(unit, local_index)));
+  }
   if (cfg_.fault_mode == FaultMode::kSigsegv) {
     ViewOf(GlobalProc(unit, local_index)).Protect(page, perm);
   }
@@ -80,6 +97,20 @@ void CashmereProtocol::UpdateDirWord(Context& ctx, PageId page, DirWord word) {
                        CostModel::UsToNs(cfg_.costs.dir_update_us));
   }
   ctx.stats().Add(Counter::kDirectoryUpdates);
+  if (TraceActive()) {
+    UnitState& us = Unit(ctx.unit());
+    TraceEmit(EventKind::kDirUpdate, page, NextTraceSeq(us.Page(page)), word.Pack(),
+              us.Now());
+  }
+}
+
+void CashmereProtocol::SetTwinTraced(PageLocal& pl, PageId page, bool valid) {
+  if (pl.twin_valid == valid) {
+    return;  // idempotent store: no transition, no generation bump, no event
+  }
+  pl.SetTwinValid(valid);
+  TraceEmit(valid ? EventKind::kTwinCreate : EventKind::kTwinDiscard, page,
+            NextTraceSeq(pl), 0, pl.twin_gen.load(std::memory_order_relaxed));
 }
 
 void CashmereProtocol::RefreshLoosestPerm(Context& ctx, PageLocal& pl, PageId page) {
@@ -135,7 +166,6 @@ void CashmereProtocol::HandleRequest(const Request& request) {
       // into the requester's page read buffer.
       ReplySlot& slot = deps_.msg->SlotOf(request.from_proc);
       deps_.hub->WriteStream(slot.data, MasterPtr(page), kWordsPerPage, Traffic::kPageData);
-      CSM_TRACE("[p%d] serve page=%u for p%d\n", ctx.proc(), page, request.from_proc);
       deps_.msg->Complete(request.from_proc, request.seq, kReplyHasPage, ctx.clock().now());
       return;
     }
@@ -151,7 +181,10 @@ void CashmereProtocol::HandleRequest(const Request& request) {
       }
       pl.exclusive = false;
       ctx.stats().Add(Counter::kExclTransitions);
-      CSM_TRACE("[p%d] break page=%u holder_proc=%d\n", ctx.proc(), page, pl.excl_proc);
+      if (TraceActive()) {
+        TraceEmit(EventKind::kExclBreak, page, NextTraceSeq(pl),
+                  static_cast<std::uint32_t>(pl.excl_proc), 0);
+      }
       std::byte* working = WorkingPtr(ctx.unit(), page);
       if (!UnitAtMaster(ctx.unit(), page)) {
         // Flush the entire page to the home node (Section 2.4.1).
@@ -178,7 +211,7 @@ void CashmereProtocol::HandleRequest(const Request& request) {
         if (!pl.twin_valid && !UnitAtMaster(ctx.unit(), page)) {
           CopyPage(TwinPtr(ctx.unit(), page), working);
           InitTwinMap(ctx, pl, ctx.unit(), page);
-          pl.SetTwinValid(true);
+          SetTwinTraced(pl, page, true);
           ctx.stats().Add(Counter::kTwinCreations);
           if (!IsWriteDouble()) {
             ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
@@ -271,7 +304,7 @@ void CashmereProtocol::WaitFetchDone(Context& ctx, PageLocal& pl) {
 }
 
 void CashmereProtocol::ApplyIncoming(Context& ctx, PageLocal& pl, PageId page,
-                                     const std::byte* image) {
+                                     const std::byte* image, bool piggyback) {
   std::byte* working = WorkingPtr(ctx.unit(), page);
   if (pl.twin_valid) {
     // Two-way diffing (Section 2.5): merge only the remote modifications so
@@ -285,9 +318,16 @@ void CashmereProtocol::ApplyIncoming(Context& ctx, PageLocal& pl, PageId page,
     ctx.stats().Add(Counter::kIncomingDiffs);
     ctx.stats().Add(Counter::kDiffBlocksScanned, scan.blocks_scanned);
     ctx.stats().Add(Counter::kDiffRunsEmitted, scan.runs);
+    if (TraceActive()) {
+      TraceEmit(EventKind::kDiffApplyIncoming, page, NextTraceSeq(pl),
+                static_cast<std::uint32_t>(words), piggyback ? 1 : 0);
+    }
     ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol, cfg_.costs.DiffInNs(words));
   } else {
     CopyPage(working, image);
+    if (TraceActive()) {
+      TraceEmit(EventKind::kPageCopy, page, NextTraceSeq(pl), 0, piggyback ? 1 : 0);
+    }
   }
 }
 
@@ -315,6 +355,11 @@ void CashmereProtocol::BreakRemoteExclusive(Context& ctx, PageLocal& pl, PageId 
     arrival += CostModel::UsToNs(cfg_.costs.inter_node_interrupt_us);
   }
   ctx.clock().AdvanceTo(ctx.stats(), arrival);
+  if (TraceActive()) {
+    TraceEmit(EventKind::kReqDone, page, 0,
+              static_cast<std::uint32_t>(Request::Kind::kBreakExclusive),
+              (static_cast<std::uint64_t>(ctx.proc()) << 32) | seq);
+  }
   if ((slot.flags & kReplyHasPage) != 0) {
     ctx.stats().Add(Counter::kPageTransfers);
     if (!UnitAtMaster(ctx.unit(), page)) {
@@ -322,7 +367,7 @@ void CashmereProtocol::BreakRemoteExclusive(Context& ctx, PageLocal& pl, PageId 
       // working-vs-twin must not interleave with the incoming merge's
       // working-then-twin writes, or it can push a stale word to the home.
       SpinLockGuard guard(pl.lock);
-      ApplyIncoming(ctx, pl, page, slot.data);
+      ApplyIncoming(ctx, pl, page, slot.data, /*piggyback=*/true);
       pl.update_ts.store(fetch_start_ts, std::memory_order_release);
       pl.ever_valid = true;
     }
@@ -386,12 +431,15 @@ void CashmereProtocol::FetchPage(Context& ctx, PageLocal& pl, PageId page) {
   }
   ctx.clock().AdvanceTo(ctx.stats(), arrival);
   ctx.stats().Add(Counter::kPageTransfers);
-  CSM_TRACE("[p%d] fetched page=%u from home start_ts=%llu\n", ctx.proc(), page,
-            (unsigned long long)fetch_start_ts);
+  if (TraceActive()) {
+    TraceEmit(EventKind::kReqDone, page, 0,
+              static_cast<std::uint32_t>(Request::Kind::kPageFetch),
+              (static_cast<std::uint64_t>(ctx.proc()) << 32) | seq);
+  }
   {
     // Serialize the merge against concurrent local flushes (see above).
     SpinLockGuard guard(pl.lock);
-    ApplyIncoming(ctx, pl, page, slot.data);
+    ApplyIncoming(ctx, pl, page, slot.data, /*piggyback=*/false);
     pl.update_ts.store(fetch_start_ts, std::memory_order_release);
     pl.ever_valid = true;
   }
@@ -403,7 +451,7 @@ void CashmereProtocol::EnsureTwin(Context& ctx, PageLocal& pl, PageId page) {
   }
   CopyPage(TwinPtr(ctx.unit(), page), WorkingPtr(ctx.unit(), page));
   InitTwinMap(ctx, pl, ctx.unit(), page);
-  pl.SetTwinValid(true);
+  SetTwinTraced(pl, page, true);
   ctx.stats().Add(Counter::kTwinCreations);
   if (!IsWriteDouble()) {
     // Cashmere-1L has no twins on the real system (write-through); the twin
@@ -526,9 +574,9 @@ CashmereProtocol::FlushResult CashmereProtocol::FlushOutgoingDiffRuns(Context& c
   // payload into this processor's transmit buffer, then replay the runs
   // into the home node's master copy as MC remote writes. Traffic is
   // byte-identical to writing each run straight out of the DiffBuffer; the
-  // charge_diff_run_headers variant additionally bills the run framing.
+  // diff.charge_run_headers variant additionally bills the run framing.
   const std::size_t hdr_bytes =
-      cfg_.charge_diff_run_headers ? kDiffRunHeaderBytes : std::size_t{0};
+      cfg_.diff.charge_run_headers ? kDiffRunHeaderBytes : std::size_t{0};
   DiffWireSlot& slot = deps_.msg->DiffSlotOf(ctx.proc());
   SerializeDiffRuns(page, buf, slot);
   const std::size_t applied = ReplayDiffWire(slot, *deps_.hub, MasterPtr(page), hdr_bytes);
@@ -537,6 +585,11 @@ CashmereProtocol::FlushResult CashmereProtocol::FlushOutgoingDiffRuns(Context& c
   ctx.stats().Add(Counter::kDiffBlocksSkipped, scan.blocks_skipped);
   ctx.stats().Add(Counter::kDiffRunsEmitted, scan.runs);
   ctx.stats().Add(Counter::kDiffRunBytes, scan.run_bytes);
+  if (TraceActive()) {
+    TraceEmit(EventKind::kDiffEncode, page,
+              NextTraceSeq(Unit(ctx.unit()).Page(page)),
+              static_cast<std::uint32_t>(scan.runs), buf.words());
+  }
   return FlushResult{buf.words(),
                      buf.words() * kWordBytes + buf.run_count() * hdr_bytes};
 }
@@ -573,7 +626,7 @@ void CashmereProtocol::ShootdownLocalWriters(Context& ctx, PageLocal& pl, PageId
                        cfg_.costs.DiffOutNs(r.words, home_local));
     SendWriteNotices(ctx, page);
   }
-  pl.SetTwinValid(false);
+  SetTwinTraced(pl, page, false);
   pl.dirty_mask = 0;
 }
 
@@ -596,6 +649,9 @@ void CashmereProtocol::EnterExclusiveOrShare(Context& ctx, PageLocal& pl, PageId
     std::uint32_t snapshot[kMaxProcs];
     deps_.dir->WriteAndSnapshot(page, ctx.unit(), claim, snapshot);
     ctx.stats().Add(Counter::kDirectoryUpdates);
+    if (TraceActive()) {
+      TraceEmit(EventKind::kDirUpdate, page, NextTraceSeq(pl), claim.Pack(), us.Now());
+    }
     ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
                        CostModel::UsToNs(cfg_.costs.dir_update_us));
     bool conflict = false;
@@ -612,7 +668,10 @@ void CashmereProtocol::EnterExclusiveOrShare(Context& ctx, PageLocal& pl, PageId
     if (!conflict) {
       pl.exclusive = true;
       pl.excl_proc = ctx.proc();
-      CSM_TRACE("[p%d] claim-exclusive page=%u\n", ctx.proc(), page);
+      if (TraceActive()) {
+        TraceEmit(EventKind::kExclEnter, page, NextTraceSeq(pl),
+                  static_cast<std::uint32_t>(ctx.proc()), 0);
+      }
       ctx.stats().Add(Counter::kExclTransitions);
       // Exclusive pages have no twin, never enter dirty lists, and generate
       // no write notices or flushes (Section 2.4.1).
@@ -632,7 +691,7 @@ void CashmereProtocol::EnterExclusiveOrShare(Context& ctx, PageLocal& pl, PageId
 void CashmereProtocol::OnFault(Context& ctx, PageId page, bool is_write) {
   ProtocolScope scope(ctx);
   ctx.SetDebugState(1, page);
-  CSM_TRACE("[p%d] fault page=%u w=%d\n", ctx.proc(), page, is_write);
+  TraceEmit(EventKind::kFaultBegin, page, 0, is_write ? 1u : 0u, 0);
   ctx.stats().Add(is_write ? Counter::kWriteFaults : Counter::kReadFaults);
   ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
                      CostModel::UsToNs(cfg_.costs.page_fault_us));
@@ -680,6 +739,7 @@ void CashmereProtocol::OnFault(Context& ctx, PageId page, bool is_write) {
   }
   RefreshLoosestPerm(ctx, pl, page);
   pl.lock.Unlock();
+  TraceEmit(EventKind::kFaultEnd, page, 0, is_write ? 1u : 0u, 0);
   ctx.SetDebugState(0, 0);
 }
 
@@ -700,7 +760,9 @@ void CashmereProtocol::SendWriteNotices(Context& ctx, PageId page) {
                          CostModel::UsToNs(cfg_.costs.dir_lock_us));
     }
     deps_.notices->PostGlobal(u, ctx.unit(), page);
-    CSM_TRACE("[p%d] WN post page=%u dst=%d\n", ctx.proc(), page, u);
+    if (TraceActive()) {
+      TraceEmit(EventKind::kWnPost, page, 0, static_cast<std::uint32_t>(u), 0);
+    }
     ++sent;
   }
   if (sent > 0) {
@@ -754,8 +816,6 @@ void CashmereProtocol::FlushPage(Context& ctx, PageLocal& pl, PageId page,
   }
 
   pl.flush_ts.store(us.Tick(), std::memory_order_release);
-  CSM_TRACE("[p%d] flush page=%u atmaster=%d\n", ctx.proc(), page,
-            (int)UnitAtMaster(ctx.unit(), page));
 
   if (!UnitAtMaster(ctx.unit(), page) && pl.twin_valid) {
     if (IsShootdown()) {
@@ -793,7 +853,7 @@ void CashmereProtocol::FlushPage(Context& ctx, PageLocal& pl, PageId page,
     ProtectLocal(ctx, pl, ctx.unit(), li, page, Perm::kRead);
   }
   if (!IsShootdown() && pl.twin_valid && pl.WriterCount(cfg_.procs_per_unit()) == 0) {
-    pl.SetTwinValid(false);  // no writers left: the twin is no longer needed
+    SetTwinTraced(pl, page, false);  // no writers left: the twin is no longer needed
   }
   RefreshLoosestPerm(ctx, pl, page);
 }
@@ -838,9 +898,11 @@ void CashmereProtocol::AcquireSync(Context& ctx) {
     deps_.notices->DrainGlobal(ctx.unit(), [&](PageId page) {
       PageLocal& pl = us.Page(page);
       SpinLockGuard guard(pl.lock);
-      pl.wn_ts.store(us.Now(), std::memory_order_release);
-      CSM_TRACE("[p%d] WN drain page=%u wn_ts=%llu\n", ctx.proc(), page,
-                (unsigned long long)us.Now());
+      const std::uint64_t wn_ts = us.Now();
+      pl.wn_ts.store(wn_ts, std::memory_order_release);
+      if (TraceActive()) {
+        TraceEmit(EventKind::kWnDrainGlobal, page, NextTraceSeq(pl), 0, wn_ts);
+      }
       for (int li = 0; li < cfg_.procs_per_unit(); ++li) {
         if (pl.PermOfLocal(li) != Perm::kInvalid) {
           deps_.notices->PostLocal(GlobalProc(ctx.unit(), li), page);
@@ -858,14 +920,14 @@ void CashmereProtocol::AcquireSync(Context& ctx) {
     if (UnitAtMaster(ctx.unit(), page)) {
       return;  // the master copy is always current
     }
-    CSM_TRACE("[p%d] WN local page=%u upd=%llu wn=%llu inval=%d\n", ctx.proc(), page,
-              (unsigned long long)pl.update_ts.load(), (unsigned long long)pl.wn_ts.load(),
-              pl.update_ts.load() <= pl.wn_ts.load());
-    if (pl.update_ts.load(std::memory_order_acquire) >
-        pl.wn_ts.load(std::memory_order_acquire)) {
-      return;  // already updated since the notice
+    const bool stale = pl.update_ts.load(std::memory_order_acquire) <=
+                       pl.wn_ts.load(std::memory_order_acquire);
+    const bool invalidate = stale && pl.PermOfLocal(ctx.local_index()) != Perm::kInvalid;
+    if (TraceActive()) {
+      TraceEmit(EventKind::kWnConsumeLocal, page, NextTraceSeq(pl),
+                invalidate ? 1u : 0u, 0);
     }
-    if (pl.PermOfLocal(ctx.local_index()) != Perm::kInvalid) {
+    if (invalidate) {
       ProtectLocal(ctx, pl, ctx.unit(), ctx.local_index(), page, Perm::kInvalid);
       RefreshLoosestPerm(ctx, pl, page);
     }
@@ -899,10 +961,20 @@ void CashmereProtocol::FinalFlush(Context& ctx) {
     if (pl.exclusive) {
       CopyPage(MasterPtr(page), WorkingPtr(ctx.unit(), page));
       pl.exclusive = false;
+      if (TraceActive()) {
+        TraceEmit(EventKind::kExclBreak, page, NextTraceSeq(pl),
+                  static_cast<std::uint32_t>(pl.excl_proc), 0);
+      }
     } else if (pl.twin_valid) {
       MergeWriteShards(ctx.unit(), page, &ctx.stats());
-      ApplyOutgoingDiff(WorkingPtr(ctx.unit(), page), TwinPtr(ctx.unit(), page),
-                        MasterPtr(page), true, &TwinMap(ctx.unit(), page));
+      DiffScanStats scan;
+      const std::size_t words =
+          ApplyOutgoingDiff(WorkingPtr(ctx.unit(), page), TwinPtr(ctx.unit(), page),
+                            MasterPtr(page), true, &TwinMap(ctx.unit(), page), &scan);
+      if (TraceActive()) {
+        TraceEmit(EventKind::kDiffApplyOutgoing, page, NextTraceSeq(pl),
+                  static_cast<std::uint32_t>(scan.runs), words);
+      }
     }
     pl.dirty_mask = 0;
   }
@@ -978,6 +1050,9 @@ void CashmereProtocol::RelocateSuperpage(Context& ctx, std::size_t sp, UnitId ne
         ProtectLocal(ctx, opl, old_home, li, page, Perm::kRead);
       }
     }
+    // No twin-discard event for the old home: master units never hold twins
+    // (and the event stream attributes sequenced events to the emitting
+    // processor's unit, which is the new home here).
     opl.exclusive = false;
     opl.SetTwinValid(false);
     opl.dirty_mask = 0;
@@ -991,9 +1066,14 @@ void CashmereProtocol::RelocateSuperpage(Context& ctx, std::size_t sp, UnitId ne
         (*deps_.arenas)[static_cast<std::size_t>(new_home)]->PagePtr(page);
     CopyPage(new_master, old_master);
     deps_.hub->AccountWrite(Traffic::kPageData, kPageBytes);
-    npl.SetTwinValid(false);
+    SetTwinTraced(npl, page, false);
     npl.ever_valid = true;
     npl.update_ts.store(new_us.Tick(), std::memory_order_release);
+    if (TraceActive()) {
+      TraceEmit(EventKind::kHomeRelocate, page, NextTraceSeq(npl),
+                static_cast<std::uint32_t>(new_home),
+                static_cast<std::uint64_t>(old_home));
+    }
     // The old home's frame still holds the current data.
     opl.ever_valid = true;
     opl.update_ts.store(old_us.Tick(), std::memory_order_release);

@@ -115,7 +115,11 @@ class CashmereProtocol : public RequestHandler {
   // Fault machinery.
   bool NeedFetch(const PageLocal& pl, UnitId unit, PageId page) const;
   void FetchPage(Context& ctx, PageLocal& pl, PageId page);
-  void ApplyIncoming(Context& ctx, PageLocal& pl, PageId page, const std::byte* image);
+  // `piggyback` distinguishes images piggybacked on a break-exclusive reply
+  // from home fetches; the replay checker exempts piggybacks from the
+  // write-notice-before-diff invariant.
+  void ApplyIncoming(Context& ctx, PageLocal& pl, PageId page, const std::byte* image,
+                     bool piggyback);
   void BreakRemoteExclusive(Context& ctx, PageLocal& pl, PageId page, UnitId holder);
   void WaitFetchDone(Context& ctx, PageLocal& pl);
   std::uint64_t AwaitReply(Context& ctx, std::uint64_t seq);
@@ -124,6 +128,10 @@ class CashmereProtocol : public RequestHandler {
   void EnterExclusiveOrShare(Context& ctx, PageLocal& pl, PageId page);
   void EnsureTwin(Context& ctx, PageLocal& pl, PageId page);
   void ShootdownLocalWriters(Context& ctx, PageLocal& pl, PageId page);
+  // The traced counterpart of PageLocal::SetTwinValid (page lock held):
+  // emits kTwinCreate/kTwinDiscard carrying the post-toggle generation so
+  // the replay checker can verify the twin-iff-odd-generation invariant.
+  void SetTwinTraced(PageLocal& pl, PageId page, bool valid);
 
   // Release machinery.
   void FlushPage(Context& ctx, PageLocal& pl, PageId page, std::uint64_t release_start,
@@ -132,7 +140,7 @@ class CashmereProtocol : public RequestHandler {
   // Result of one outgoing diff flush: modified words (drives the DiffOut
   // virtual-time charge) and the bytes the transfer occupies on the serial
   // MC bus — payload only by default, payload + run headers under the
-  // charge_diff_run_headers cost variant.
+  // diff.charge_run_headers cost variant.
   struct FlushResult {
     std::size_t words = 0;
     std::size_t bus_bytes = 0;

@@ -53,6 +53,13 @@ struct PageLocal {
   bool exclusive = false;   // this unit holds the page in exclusive mode
   ProcId excl_proc = 0;     // processor recorded as the exclusive holder
   bool ever_valid = false;  // the local frame has held a valid copy
+  // Trace-only transition sequence: bumped (under the page lock) for every
+  // traced per-page protocol transition, giving the replay invariant
+  // checker a total order over one page's transitions that does not depend
+  // on cross-processor virtual-clock comparisons. Never read by the
+  // protocol itself, and only bumped while tracing is active, so enabling
+  // tracing cannot change protocol decisions.
+  std::atomic<std::uint32_t> trace_seq{0};
 
   // The only way twin_valid may be changed (page lock held): keeps the
   // generation's parity in sync with the flag. Idempotent stores (e.g.

@@ -20,8 +20,8 @@ Runtime::Runtime(Config cfg, SyncShape sync)
       notices_(cfg_, hub_),
       msg_(cfg_),
       heap_(cfg_.heap_bytes) {
-  if (cfg_.cost_scale != 1.0 && cfg_.cost_scale > 0.0) {
-    cfg_.costs = cfg_.costs.ScaledBy(cfg_.cost_scale);
+  if (cfg_.cost.scale != 1.0 && cfg_.cost.scale > 0.0) {
+    cfg_.costs = cfg_.costs.ScaledBy(cfg_.cost.scale);
   }
   hub_.set_ns_per_byte(cfg_.costs.mc_ns_per_byte);
   const int units = cfg_.units();
@@ -73,15 +73,21 @@ Runtime::Runtime(Config cfg, SyncShape sync)
 
   for (int i = 0; i < sync.locks; ++i) {
     locks_.emplace_back(cfg_, hub_, *protocol_);
+    locks_.back().set_trace_id(i);
   }
   for (int i = 0; i < sync.barriers; ++i) {
     barriers_.emplace_back(cfg_, hub_, *protocol_);
+    barriers_.back().set_trace_id(i);
   }
   for (int i = 0; i < sync.flags; ++i) {
     flags_.emplace_back(cfg_, hub_, *protocol_);
+    flags_.back().set_trace_id(i);
   }
   internal_barrier_ =
       std::make_unique<ClusterBarrier>(cfg_, hub_, *protocol_, /*counted=*/false);
+  if (cfg_.trace.enabled) {
+    trace_log_ = std::make_unique<TraceLog>(cfg_.total_procs(), cfg_.trace.ring_events);
+  }
 
   for (ProcId p = 0; p < cfg_.total_procs(); ++p) {
     contexts_.emplace_back();
@@ -251,7 +257,10 @@ void Runtime::Run(const std::function<void(Context&)>& body) {
   for (Context& ctx : contexts_) {
     ctx.stats_ = Stats{};
   }
-  const double scale = cfg_.time_scale > 0 ? cfg_.time_scale : HostToAlphaTimeScale();
+  if (trace_log_) {
+    trace_log_->ResetAll();
+  }
+  const double scale = cfg_.cost.time_scale > 0 ? cfg_.cost.time_scale : HostToAlphaTimeScale();
 
   if (cfg_.fault_mode == FaultMode::kSigsegv) {
     FaultDispatcher::Instance().Register(this);
@@ -267,6 +276,9 @@ void Runtime::Run(const std::function<void(Context&)>& body) {
       Context& ctx = contexts_[static_cast<std::size_t>(p)];
       Context::Bind(&ctx);
       ctx.clock().Start(scale);
+      if (trace_log_) {
+        TraceBindThread(&trace_log_->ring(p), &ctx.clock(), p);
+      }
       body(ctx);
       ctx.clock().AccrueUser(ctx.stats());
       final_vt[static_cast<std::size_t>(p)] = ctx.clock().now();
@@ -278,6 +290,7 @@ void Runtime::Run(const std::function<void(Context&)>& body) {
         protocol_->FinalFlush(ctx);
       }
       internal_barrier_->Wait(ctx);
+      TraceUnbindThread();
       Context::Bind(nullptr);
     });
   }
@@ -288,6 +301,17 @@ void Runtime::Run(const std::function<void(Context&)>& body) {
   watchdog.join();
   if (cfg_.fault_mode == FaultMode::kSigsegv) {
     FaultDispatcher::Instance().Unregister(this);
+  }
+
+  if (trace_log_) {
+    // Fold ring counters into per-processor stats after the join (the join
+    // orders the writers' final appends before these reads).
+    for (ProcId p = 0; p < cfg_.total_procs(); ++p) {
+      const TraceRing& ring = trace_log_->ring(p);
+      Stats& s = contexts_[static_cast<std::size_t>(p)].stats_;
+      s.Add(Counter::kTraceEvents, ring.total());
+      s.Add(Counter::kTraceDrops, ring.dropped());
+    }
   }
 
   report_ = StatsReport{};

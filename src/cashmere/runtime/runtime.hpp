@@ -19,6 +19,7 @@
 
 #include "cashmere/common/config.hpp"
 #include "cashmere/common/stats.hpp"
+#include "cashmere/common/trace.hpp"
 #include "cashmere/common/types.hpp"
 #include "cashmere/mc/hub.hpp"
 #include "cashmere/msg/message_layer.hpp"
@@ -86,6 +87,12 @@ class Runtime : public FaultSink {
   McHub& hub() { return hub_; }
   CashmereProtocol& protocol() { return *protocol_; }
   HomeTable& homes() { return homes_; }
+  // Non-null iff cfg.trace.enabled; holds the last Run's event streams
+  // (Run resets the rings at entry).
+  TraceLog* trace_log() { return trace_log_.get(); }
+  // Transfers ownership of the trace log (e.g. to outlive the Runtime for
+  // post-run export/checking). Further Runs on this Runtime trace nothing.
+  std::unique_ptr<TraceLog> TakeTraceLog() { return std::move(trace_log_); }
 
   // --- Internal plumbing (used by Context and the fault dispatcher) -------
   bool HandleFault(void* addr, bool is_write) override;
@@ -120,6 +127,7 @@ class Runtime : public FaultSink {
   std::deque<ClusterFlag> flags_;
   // Internal barrier for InitDone and run start/end (not an app barrier).
   std::unique_ptr<ClusterBarrier> internal_barrier_;
+  std::unique_ptr<TraceLog> trace_log_;
   StatsReport report_;
   std::atomic<std::uint64_t> progress_{0};
   std::atomic<bool> running_{false};

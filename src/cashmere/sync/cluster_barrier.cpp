@@ -1,6 +1,7 @@
 #include "cashmere/sync/cluster_barrier.hpp"
 
 #include "cashmere/common/spin.hpp"
+#include "cashmere/common/trace.hpp"
 #include "cashmere/protocol/cashmere_protocol.hpp"
 #include "cashmere/runtime/context.hpp"
 
@@ -14,6 +15,13 @@ void ClusterBarrier::Wait(Context& ctx) {
   ProtocolScope scope(ctx);
   if (counted_ && ctx.proc() == 0) {
     ctx.stats().Add(Counter::kBarriers);  // count episodes, not arrivals
+  }
+  if (TraceActive()) {
+    // The epoch read here equals my_epoch below: the episode cannot advance
+    // until this processor's own arrival is counted.
+    TraceEmit(EventKind::kBarrierArrive, kNoTracePage, 0,
+              static_cast<std::uint32_t>(trace_id_),
+              epoch_.load(std::memory_order_acquire));
   }
 
   // Arrival: flush dirty pages for which we are the last arriving local
@@ -65,6 +73,10 @@ void ClusterBarrier::Wait(Context& ctx) {
   ctx.clock().AdvanceTo(ctx.stats(), episode.release_vt.load(std::memory_order_acquire));
   protocol_.AcquireSync(ctx);
   protocol_.BarrierDepartEnd(ctx);
+  if (TraceActive()) {
+    TraceEmit(EventKind::kBarrierDepart, kNoTracePage, 0,
+              static_cast<std::uint32_t>(trace_id_), my_epoch);
+  }
 }
 
 }  // namespace cashmere

@@ -33,6 +33,11 @@ class ClusterBarrier {
 
   void Wait(Context& ctx);
 
+  // Application-visible barrier id, stamped into trace events (a0 of
+  // kBarrierArrive/kBarrierDepart). The runtime's internal quiesce barrier
+  // keeps the default (-1, rendered as 0xffffffff).
+  void set_trace_id(int id) { trace_id_ = id; }
+
  private:
   struct Episode {
     std::atomic<int> arrived{0};
@@ -45,6 +50,7 @@ class ClusterBarrier {
   McHub& hub_;
   CashmereProtocol& protocol_;
   bool counted_;
+  int trace_id_ = -1;
   Episode episodes_[2];
   std::atomic<std::uint64_t> epoch_{0};
   // Per-node local arrival counters (hardware shared memory level).

@@ -1,6 +1,7 @@
 #include "cashmere/sync/cluster_flag.hpp"
 
 #include "cashmere/common/spin.hpp"
+#include "cashmere/common/trace.hpp"
 #include "cashmere/protocol/cashmere_protocol.hpp"
 #include "cashmere/runtime/context.hpp"
 
@@ -28,6 +29,10 @@ void ClusterFlag::Set(Context& ctx, std::uint64_t value) {
   while (current < value &&
          !value_.compare_exchange_weak(current, value, std::memory_order_acq_rel)) {
   }
+  if (TraceActive()) {
+    TraceEmit(EventKind::kFlagSet, kNoTracePage, 0,
+              static_cast<std::uint32_t>(trace_id_), value);
+  }
 }
 
 void ClusterFlag::WaitGe(Context& ctx, std::uint64_t value) {
@@ -37,6 +42,10 @@ void ClusterFlag::WaitGe(Context& ctx, std::uint64_t value) {
     ProtocolScope scope(ctx);
     ctx.stats().Add(Counter::kFlagAcquires);
     ctx.clock().AdvanceTo(ctx.stats(), set_vt_.load(std::memory_order_acquire));
+    if (TraceActive()) {
+      TraceEmit(EventKind::kFlagWait, kNoTracePage, 0,
+                static_cast<std::uint32_t>(trace_id_), value);
+    }
     protocol_.AcquireSync(ctx);
     return;
   }
@@ -48,6 +57,10 @@ void ClusterFlag::WaitGe(Context& ctx, std::uint64_t value) {
     backoff.Pause();
   }
   ctx.clock().AdvanceTo(ctx.stats(), set_vt_.load(std::memory_order_acquire));
+  if (TraceActive()) {
+    TraceEmit(EventKind::kFlagWait, kNoTracePage, 0,
+              static_cast<std::uint32_t>(trace_id_), value);
+  }
   protocol_.AcquireSync(ctx);
 }
 

@@ -30,7 +30,12 @@ class ClusterFlag {
 
   std::uint64_t Peek() const { return value_.load(std::memory_order_acquire); }
 
+  // Application-visible flag id, stamped into trace events (a0 of
+  // kFlagSet/kFlagWait). Set by the Runtime at construction.
+  void set_trace_id(int id) { trace_id_ = id; }
+
  private:
+  int trace_id_ = -1;
   const Config& cfg_;
   McHub& hub_;
   CashmereProtocol& protocol_;

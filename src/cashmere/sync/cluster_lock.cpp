@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "cashmere/common/rng.hpp"
+#include "cashmere/common/trace.hpp"
 #include "cashmere/protocol/cashmere_protocol.hpp"
 #include "cashmere/runtime/context.hpp"
 
@@ -61,9 +62,16 @@ void ClusterLock::Acquire(Context& ctx) {
 
   // Acquired: reconcile with the previous releaser's clock, charge the
   // measured acquire cost, and run consistency actions.
-  ctx.clock().AdvanceTo(ctx.stats(), release_vt_.load(std::memory_order_acquire));
+  const VirtTime release_vt = release_vt_.load(std::memory_order_acquire);
+  ctx.clock().AdvanceTo(ctx.stats(), release_vt);
   ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
                      cfg_.costs.LockAcquireNs(cfg_.two_level()));
+  if (TraceActive()) {
+    // Before AcquireSync so the acquire's write-notice drains trace inside
+    // the acquire, after the lock-acquired edge.
+    TraceEmit(EventKind::kLockAcquire, kNoTracePage, 0,
+              static_cast<std::uint32_t>(trace_id_), release_vt);
+  }
   protocol_.AcquireSync(ctx);
 }
 
@@ -97,6 +105,10 @@ void ClusterLock::Release(Context& ctx) {
   ProtocolScope scope(ctx);
   protocol_.ReleaseSync(ctx, /*barrier_arrival=*/false);
   release_vt_.store(ctx.clock().now(), std::memory_order_release);
+  if (TraceActive()) {
+    TraceEmit(EventKind::kLockRelease, kNoTracePage, 0,
+              static_cast<std::uint32_t>(trace_id_), ctx.clock().now());
+  }
   hub_.OrderedBroadcast32(&entries_[ctx.unit()], 0, Traffic::kSyncObject);
   node_flag_[ctx.node()].store(false, std::memory_order_release);
 }

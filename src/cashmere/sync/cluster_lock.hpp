@@ -37,11 +37,16 @@ class ClusterLock {
   void Acquire(Context& ctx);
   void Release(Context& ctx);
 
+  // Application-visible lock id, stamped into trace events (a0 of
+  // kLockAcquire/kLockRelease). Set by the Runtime at construction.
+  void set_trace_id(int id) { trace_id_ = id; }
+
   // Hang diagnostics: true if any array entry or node flag is set.
   bool DebugBusy() const;
   void DebugDump(int id) const;
 
  private:
+  int trace_id_ = -1;
   const Config& cfg_;
   McHub& hub_;
   CashmereProtocol& protocol_;

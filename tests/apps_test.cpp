@@ -36,7 +36,7 @@ TEST_P(AppMatrixTest, VerifiesAgainstSequential) {
   cfg.protocol = c.protocol;
   cfg.nodes = c.nodes;
   cfg.procs_per_node = c.ppn;
-  cfg.time_scale = 10.0;
+  cfg.cost.time_scale = 10.0;
   const AppRunResult result = RunApp(c.kind, cfg, kSizeTest);
   EXPECT_TRUE(result.verified)
       << AppName(c.kind) << " parallel=" << result.parallel_checksum

@@ -16,7 +16,7 @@ Config XConfig(int nodes, int ppn, ProtocolVariant v = ProtocolVariant::kTwoLeve
   cfg.procs_per_node = ppn;
   cfg.heap_bytes = 256 * 1024;
   cfg.superpage_pages = 2;
-  cfg.time_scale = 5.0;
+  cfg.cost.time_scale = 5.0;
   cfg.first_touch = false;
   return cfg;
 }

@@ -16,7 +16,7 @@ Config FpConfig(int nodes = 2, int ppn = 2) {
   cfg.procs_per_node = ppn;
   cfg.heap_bytes = 64 * kPageBytes;
   cfg.superpage_pages = 4;
-  cfg.time_scale = 3.0;
+  cfg.cost.time_scale = 3.0;
   cfg.first_touch = false;
   return cfg;
 }

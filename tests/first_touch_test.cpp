@@ -15,7 +15,7 @@ Config FtConfig(int nodes, int ppn) {
   cfg.procs_per_node = ppn;
   cfg.heap_bytes = 64 * kPageBytes;
   cfg.superpage_pages = 4;
-  cfg.time_scale = 5.0;
+  cfg.cost.time_scale = 5.0;
   cfg.first_touch = true;
   return cfg;
 }

@@ -15,7 +15,7 @@ Config HoConfig(bool first_touch) {
   cfg.procs_per_node = 2;
   cfg.heap_bytes = 64 * kPageBytes;
   cfg.superpage_pages = 4;
-  cfg.time_scale = 3.0;
+  cfg.cost.time_scale = 3.0;
   cfg.first_touch = first_touch;
   return cfg;
 }

@@ -13,7 +13,7 @@ Config ShapeConfig(ProtocolVariant v, int nodes, int ppn) {
   cfg.protocol = v;
   cfg.nodes = nodes;
   cfg.procs_per_node = ppn;
-  cfg.time_scale = 5.0;
+  cfg.cost.time_scale = 5.0;
   return cfg;
 }
 

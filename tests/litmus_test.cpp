@@ -17,7 +17,7 @@ Config LitmusConfig(ProtocolVariant v = ProtocolVariant::kTwoLevel) {
   cfg.nodes = 2;
   cfg.procs_per_node = 2;
   cfg.heap_bytes = 256 * 1024;
-  cfg.time_scale = 3.0;
+  cfg.cost.time_scale = 3.0;
   cfg.first_touch = false;
   return cfg;
 }

@@ -47,7 +47,7 @@ TEST_P(RandomWorkloadTest, ScatteredOwnershipWithBarriers) {
   cfg.procs_per_node = s.ppn;
   cfg.heap_bytes = 16 * kPageBytes;
   cfg.superpage_pages = 4;
-  cfg.time_scale = 3.0;
+  cfg.cost.time_scale = 3.0;
   Runtime rt(cfg);
   constexpr int kWords = 16 * 2048;
   constexpr int kRounds = 6;
@@ -117,7 +117,7 @@ TEST_P(RandomWorkloadTest, RandomLockedIncrements) {
   cfg.nodes = s.nodes;
   cfg.procs_per_node = s.ppn;
   cfg.heap_bytes = 8 * kPageBytes;
-  cfg.time_scale = 3.0;
+  cfg.cost.time_scale = 3.0;
   cfg.first_touch = false;
   Runtime rt(cfg);
   constexpr int kCounters = 64;

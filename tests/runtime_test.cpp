@@ -18,7 +18,7 @@ Config SmallConfig(ProtocolVariant v, int nodes, int ppn) {
   cfg.procs_per_node = ppn;
   cfg.heap_bytes = 1 * 1024 * 1024;
   cfg.superpage_pages = 4;
-  cfg.time_scale = 10.0;  // fixed: keep tests deterministic-ish and fast
+  cfg.cost.time_scale = 10.0;  // fixed: keep tests deterministic-ish and fast
   cfg.first_touch = false;
   return cfg;
 }

@@ -22,7 +22,7 @@ AppRunResult RunVariant(AppKind kind, ProtocolVariant v) {
   cfg.protocol = v;
   cfg.nodes = 8;
   cfg.procs_per_node = 4;
-  cfg.time_scale = 5.0;
+  cfg.cost.time_scale = 5.0;
   return RunApp(kind, cfg, kSizeTest);
 }
 
@@ -101,7 +101,7 @@ TEST(ShardStatsInvariantTest, SoftwareModeCountsMergesAndStaleDrops) {
   cfg.nodes = 2;
   cfg.procs_per_node = 2;
   cfg.heap_bytes = 256 * 1024;
-  cfg.time_scale = 5.0;
+  cfg.cost.time_scale = 5.0;
   cfg.first_touch = false;
   cfg.fault_mode = FaultMode::kSoftware;
   Runtime rt(cfg);

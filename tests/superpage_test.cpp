@@ -14,7 +14,7 @@ Config SpConfig(std::size_t superpage_pages, int nodes = 4, int ppn = 1) {
   cfg.procs_per_node = ppn;
   cfg.heap_bytes = 64 * kPageBytes;
   cfg.superpage_pages = superpage_pages;
-  cfg.time_scale = 3.0;
+  cfg.cost.time_scale = 3.0;
   cfg.first_touch = false;
   return cfg;
 }

@@ -15,7 +15,7 @@ Config SyncConfig(int nodes, int ppn, ProtocolVariant v = ProtocolVariant::kTwoL
   cfg.nodes = nodes;
   cfg.procs_per_node = ppn;
   cfg.heap_bytes = 512 * 1024;
-  cfg.time_scale = 5.0;
+  cfg.cost.time_scale = 5.0;
   cfg.first_touch = false;
   return cfg;
 }

@@ -16,7 +16,7 @@ Config VConfig(ProtocolVariant v, int nodes, int ppn) {
   cfg.procs_per_node = ppn;
   cfg.heap_bytes = 512 * 1024;
   cfg.superpage_pages = 4;
-  cfg.time_scale = 5.0;
+  cfg.cost.time_scale = 5.0;
   cfg.first_touch = false;
   return cfg;
 }

@@ -17,7 +17,7 @@ TEST(WatchdogDeathTest, SpinningWithoutSynchronizationAborts) {
         cfg.nodes = 2;
         cfg.procs_per_node = 1;
         cfg.heap_bytes = 64 * 1024;
-        cfg.time_scale = 3.0;
+        cfg.cost.time_scale = 3.0;
         cfg.watchdog_seconds = 2.0;  // fast abort for the test
         Runtime rt(cfg);
         const GlobalAddr a = rt.AllocArray<int>(16);

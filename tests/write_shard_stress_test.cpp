@@ -33,7 +33,7 @@ Config StressConfig() {
   cfg.procs_per_node = kMaxProcsPerNode;
   cfg.heap_bytes = 512 * 1024;
   cfg.superpage_pages = 4;
-  cfg.time_scale = 5.0;
+  cfg.cost.time_scale = 5.0;
   cfg.first_touch = false;
   cfg.fault_mode = FaultMode::kSoftware;
   return cfg;

@@ -1,18 +1,21 @@
-// cashmere_run: command-line driver for the benchmark suite.
+// cashmere_trace: run one application with structured tracing enabled,
+// replay the merged event stream through the invariant checker, and
+// optionally export it as Chrome trace_event JSON.
 //
-//   cashmere_run --app SOR --protocol 2L --procs 32 --ppn 4 [--size bench]
-//                [--home-opt] [--interrupts] [--no-first-touch]
-//                [--cost-scale auto|<float>] [--verbose]
+//   cashmere_trace --app SOR [--protocol 2L] [--procs 32] [--ppn 4]
+//                  [--size test|bench|large] [--ring-events N]
+//                  [--json trace.json] [--no-check]
 //
-// Runs one application under one configuration, verifies it against the
-// sequential reference, and prints the Table-3-style statistics, the
-// Figure-6 time breakdown and the speedup.
+// Exits 0 iff the run verified against the sequential reference and the
+// invariant checker found no issues; the checker is on by default so CI can
+// pipe any deterministic app through it.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "cashmere/apps/app.hpp"
+#include "cashmere/common/trace_check.hpp"
 
 namespace {
 
@@ -29,8 +32,8 @@ using namespace cashmere;
   std::fprintf(stderr,
                "usage: %s --app <%s>\n"
                "          [--protocol 2L|2LS|2L-lock|1LD|1L] [--procs N] [--ppn N]\n"
-               "          [--size test|bench|large] [--home-opt] [--interrupts]\n"
-               "          [--no-first-touch] [--cost-scale auto|<float>] [--list]\n",
+               "          [--size test|bench|large] [--ring-events N]\n"
+               "          [--json <file>] [--no-check]\n",
                argv0, names.c_str());
   std::exit(2);
 }
@@ -54,11 +57,14 @@ bool ParseProtocol(const char* name, ProtocolVariant* out) {
 int main(int argc, char** argv) {
   AppKind kind = AppKind::kSor;
   bool have_app = false;
+  bool check = true;
+  const char* json_path = nullptr;
   Config cfg;
-  cfg.cost.scale = 0.0;  // auto
+  cfg.cost.scale = 1.0;  // counters, not modeled time, are what tracing reads
+  cfg.trace.enabled = true;
   int procs = 32;
   int ppn = 4;
-  int size_class = kSizeBench;
+  int size_class = kSizeTest;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -84,22 +90,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--size") {
       const std::string s = next();
       size_class = s == "test" ? kSizeTest : s == "large" ? kSizeLarge : kSizeBench;
-    } else if (arg == "--home-opt") {
-      cfg.home_opt = true;
-    } else if (arg == "--interrupts") {
-      cfg.delivery = DeliveryMode::kInterrupt;
-    } else if (arg == "--no-first-touch") {
-      cfg.first_touch = false;
-    } else if (arg == "--cost-scale") {
-      const std::string s = next();
-      cfg.cost.scale = s == "auto" ? 0.0 : std::atof(s.c_str());
-    } else if (arg == "--list") {
-      for (const std::string& name : App::Names()) {
-        auto app = App::Create(name, size_class);
-        std::printf("%-8s paper: %-22s ours: %s\n", app->name(), app->PaperProblemSize(),
-                    app->ProblemSize().c_str());
-      }
-      return 0;
+    } else if (arg == "--ring-events") {
+      cfg.trace.ring_events = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--no-check") {
+      check = false;
     } else {
       Usage(argv[0]);
     }
@@ -117,11 +113,33 @@ int main(int argc, char** argv) {
   cfg.procs_per_node = ppn;
 
   const AppRunResult r = RunApp(kind, cfg, size_class);
-  std::printf("%s on %s  [%s]\n", AppName(kind), cfg.Describe().c_str(),
+  std::printf("%s on %s  [%s]\n", AppName(kind), r.cfg.Describe().c_str(),
               r.verified ? "VERIFIED" : "VERIFICATION FAILED");
-  std::printf("  sequential (Alpha-equivalent): %.4f s\n", r.seq_alpha_seconds);
-  std::printf("  parallel (virtual):            %.4f s\n", r.report.ExecTimeSec());
-  std::printf("  speedup:                       %.2f\n\n", r.speedup);
-  std::printf("%s", r.report.ToString().c_str());
-  return r.verified ? 0 : 1;
+  if (!r.trace) {
+    std::fprintf(stderr, "cashmere_trace: run produced no trace log\n");
+    return 1;
+  }
+  const std::vector<TraceEvent> merged = r.trace->Merged();
+  std::printf("  events: %llu appended, %llu retained, %llu dropped\n",
+              (unsigned long long)r.trace->TotalEvents(),
+              (unsigned long long)merged.size(),
+              (unsigned long long)r.trace->TotalDropped());
+
+  bool ok = r.verified;
+  if (check) {
+    const TraceCheckResult res = CheckTrace(merged, r.cfg, r.trace->TotalDropped());
+    std::printf("%s", res.ToString().c_str());
+    ok = ok && res.ok;
+  }
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cashmere_trace: cannot open %s\n", json_path);
+      return 1;
+    }
+    WriteChromeTrace(merged, r.cfg, f);
+    std::fclose(f);
+    std::printf("  wrote %s\n", json_path);
+  }
+  return ok ? 0 : 1;
 }
