@@ -8,6 +8,8 @@
 
 #include <sched.h>
 
+#include "cashmere/common/thread_safety.hpp"
+
 namespace cashmere {
 
 // Call once per iteration of any wait loop. Spins briefly, then yields.
@@ -33,13 +35,17 @@ class Backoff {
 // A simple test-and-test-and-set spin lock. Used for intra-node protocol
 // structures (the paper's ll/sc-protected local locks). Safe to take inside
 // the SIGSEGV fault path because holders never block.
-class SpinLock {
+//
+// Declared as a clang thread-safety capability: fields annotated
+// CSM_GUARDED_BY(lock) and functions annotated CSM_REQUIRES(lock) are
+// statically checked against Lock/Unlock pairing in the clang-analyze build.
+class CSM_CAPABILITY("mutex") SpinLock {
  public:
   SpinLock() = default;
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
-  void Lock() {
+  void Lock() CSM_ACQUIRE() {
     Backoff backoff;
     while (true) {
       if (!locked_.exchange(true, std::memory_order_acquire)) {
@@ -51,18 +57,24 @@ class SpinLock {
     }
   }
 
-  bool TryLock() { return !locked_.exchange(true, std::memory_order_acquire); }
+  bool TryLock() CSM_TRY_ACQUIRE(true) {
+    return !locked_.exchange(true, std::memory_order_acquire);
+  }
 
-  void Unlock() { locked_.store(false, std::memory_order_release); }
+  void Unlock() CSM_RELEASE() {
+    locked_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> locked_{false};
 };
 
-class SpinLockGuard {
+class CSM_SCOPED_CAPABILITY SpinLockGuard {
  public:
-  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.Lock(); }
-  ~SpinLockGuard() { lock_.Unlock(); }
+  explicit SpinLockGuard(SpinLock& lock) CSM_ACQUIRE(lock) : lock_(lock) {
+    lock_.Lock();
+  }
+  ~SpinLockGuard() CSM_RELEASE() { lock_.Unlock(); }
   SpinLockGuard(const SpinLockGuard&) = delete;
   SpinLockGuard& operator=(const SpinLockGuard&) = delete;
 

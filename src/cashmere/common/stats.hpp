@@ -13,6 +13,7 @@
 #include <string>
 
 #include "cashmere/common/cost_model.hpp"
+#include "cashmere/common/ownership.hpp"
 #include "cashmere/common/types.hpp"
 
 namespace cashmere {
@@ -56,9 +57,17 @@ inline constexpr int kNumCounters = static_cast<int>(Counter::kNumCounters);
 const char* CounterName(Counter c);
 
 struct Stats {
+  // Single-writer: only the owning processor's thread calls Add/AddTime.
+  // The watchdog may *read* counts concurrently (hence atomics); the
+  // plain load + add + store RMW is only safe because of single-writer.
+  CSM_SINGLE_WRITER("the processor this Stats instance belongs to")
   std::array<std::atomic<std::uint64_t>, kNumCounters> counts{};
   // time_ns stays plain: it is never read off-thread while the run is live.
+  CSM_SINGLE_WRITER("the processor this Stats instance belongs to")
   std::array<std::uint64_t, kNumTimeCategories> time_ns{};
+  // Dynamic single-writer verifier (no-op unless ownership checks are on;
+  // copying a Stats resets the copy's claim — see OwnerCell).
+  OwnerCell owner_check;
 
   Stats() = default;
   Stats(const Stats& other) { *this = other; }
@@ -72,13 +81,17 @@ struct Stats {
   }
 
   void Add(Counter c, std::uint64_t n = 1) {
+    owner_check.NoteWrite("Stats::Add");
     std::atomic<std::uint64_t>& a = counts[static_cast<int>(c)];
     a.store(a.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
   }
   std::uint64_t Get(Counter c) const {
     return counts[static_cast<int>(c)].load(std::memory_order_relaxed);
   }
-  void AddTime(TimeCategory cat, std::uint64_t ns) { time_ns[static_cast<int>(cat)] += ns; }
+  void AddTime(TimeCategory cat, std::uint64_t ns) {
+    owner_check.NoteWrite("Stats::AddTime");
+    time_ns[static_cast<int>(cat)] += ns;
+  }
 
   Stats& operator+=(const Stats& other);
 };

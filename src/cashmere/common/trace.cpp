@@ -103,6 +103,19 @@ void TraceRing::Snapshot(std::vector<TraceEvent>& out) const {
   }
 }
 
+std::size_t TraceRing::DebugTail(TraceEvent* out, std::size_t max) const {
+  const std::uint64_t n = total();
+  const std::uint64_t held = n < slots_.size() ? n : slots_.size();
+  const std::uint64_t take = held < max ? held : max;
+  // If the owner appends while we copy, the slot nearest the head may be
+  // torn; tolerated (diagnostic-only — see the header comment).
+  for (std::uint64_t i = 0; i < take; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        slots_[static_cast<std::size_t>(n - take + i) & mask_];
+  }
+  return static_cast<std::size_t>(take);
+}
+
 TraceLog::TraceLog(int procs, std::uint32_t ring_events) {
   rings_.reserve(static_cast<std::size_t>(procs));
   for (int p = 0; p < procs; ++p) {

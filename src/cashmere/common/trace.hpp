@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "cashmere/common/ownership.hpp"
 #include "cashmere/common/types.hpp"
 #include "cashmere/common/virtual_clock.hpp"
 
@@ -104,6 +105,7 @@ class alignas(64) TraceRing {
   // counted as dropped. Plain slot store + release publish of the count —
   // the same owner-only store discipline as DirtyMapShard::MarkRange.
   void Append(const TraceEvent& e) {
+    owner_check_.NoteWrite("TraceRing::Append");
     const std::uint64_t n = count_.load(std::memory_order_relaxed);
     slots_[static_cast<std::size_t>(n) & mask_] = e;
     count_.store(n + 1, std::memory_order_release);
@@ -116,15 +118,28 @@ class alignas(64) TraceRing {
   std::uint64_t size() const;
   std::uint64_t dropped() const;
 
-  void Reset() { count_.store(0, std::memory_order_release); }
+  void Reset() {
+    count_.store(0, std::memory_order_release);
+    owner_check_.Reset();  // the ring may be adopted by a new owner
+  }
 
   // Copies the retained events in append order (oldest retained first).
   // Only valid once the writer has quiesced.
   void Snapshot(std::vector<TraceEvent>& out) const;
 
+  // Racy-by-design tail read for live diagnostics (the watchdog's stall
+  // dump): copies up to `max` of the most recent events into `out` (oldest
+  // first) WHILE the owner may still be appending. A slot being overwritten
+  // concurrently can yield a torn event; acceptable for a crash dump,
+  // never used by the protocol or the replay checker. The corresponding
+  // TSan report is suppressed in .tsan-suppressions.
+  std::size_t DebugTail(TraceEvent* out, std::size_t max) const;
+
  private:
+  CSM_SINGLE_WRITER("the processor thread bound to this ring")
   std::vector<TraceEvent> slots_;
   std::uint64_t mask_;
+  OwnerCell owner_check_;
   alignas(64) std::atomic<std::uint64_t> count_{0};
 };
 

@@ -272,6 +272,84 @@ TraceCheckResult CheckTrace(const std::vector<TraceEvent>& merged, const Config&
   return ck.result;
 }
 
+TraceBreakdown DeriveBreakdown(const std::vector<TraceEvent>& merged, int procs,
+                               const std::vector<int>& data_traffic_classes) {
+  TraceBreakdown b;
+  // Per-processor open-episode state. Faults and barrier episodes never
+  // nest on one processor (OnFault does not recur; a thread waits at one
+  // barrier at a time), so a single open slot per kind suffices. ~0 marks
+  // "no episode open".
+  constexpr VirtTime kNone = ~VirtTime{0};
+  std::vector<VirtTime> fault_open(static_cast<std::size_t>(procs), kNone);
+  std::vector<VirtTime> barrier_open(static_cast<std::size_t>(procs), kNone);
+  std::uint64_t barrier_arrives = 0;
+  for (const TraceEvent& e : merged) {
+    if (e.proc >= procs) {
+      continue;  // malformed; CheckTrace reports it
+    }
+    const std::size_t p = e.proc;
+    switch (static_cast<EventKind>(e.kind)) {
+      case EventKind::kFaultBegin:
+        (e.a0 != 0 ? b.write_faults : b.read_faults) += 1;
+        if (fault_open[p] != kNone) {
+          ++b.unpaired_episodes;
+        }
+        fault_open[p] = e.vt;
+        break;
+      case EventKind::kFaultEnd:
+        if (fault_open[p] == kNone || e.vt < fault_open[p]) {
+          ++b.unpaired_episodes;
+        } else {
+          b.fault_ns += e.vt - fault_open[p];
+        }
+        fault_open[p] = kNone;
+        break;
+      case EventKind::kBarrierArrive:
+        ++barrier_arrives;
+        if (barrier_open[p] != kNone) {
+          ++b.unpaired_episodes;
+        }
+        barrier_open[p] = e.vt;
+        break;
+      case EventKind::kBarrierDepart:
+        if (barrier_open[p] == kNone || e.vt < barrier_open[p]) {
+          ++b.unpaired_episodes;
+        } else {
+          b.barrier_ns += e.vt - barrier_open[p];
+        }
+        barrier_open[p] = kNone;
+        break;
+      case EventKind::kTwinCreate:
+        ++b.twin_creates;
+        break;
+      case EventKind::kDirUpdate:
+        ++b.dir_updates;
+        break;
+      case EventKind::kMcWrite:
+        b.total_bytes += e.a1;
+        for (const int cls : data_traffic_classes) {
+          if (e.a0 == static_cast<std::uint32_t>(cls)) {
+            b.data_bytes += e.a1;
+            break;
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  for (int p = 0; p < procs; ++p) {
+    if (fault_open[static_cast<std::size_t>(p)] != kNone) {
+      ++b.unpaired_episodes;
+    }
+    if (barrier_open[static_cast<std::size_t>(p)] != kNone) {
+      ++b.unpaired_episodes;
+    }
+  }
+  b.barriers = procs > 0 ? barrier_arrives / static_cast<std::uint64_t>(procs) : 0;
+  return b;
+}
+
 std::string TraceCheckResult::ToString() const {
   char head[160];
   std::snprintf(head, sizeof(head),

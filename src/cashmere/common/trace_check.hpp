@@ -56,6 +56,38 @@ struct TraceCheckResult {
 TraceCheckResult CheckTrace(const std::vector<TraceEvent>& merged, const Config& cfg,
                             std::uint64_t dropped);
 
+// --- Figure-6-style breakdown derivation ----------------------------------
+// Re-derives the run's headline statistics and time breakdown from the
+// event stream alone, so a test can cross-check the trace subsystem against
+// the independently maintained Stats counters: if instrumentation drifts
+// (an edge loses its emit, a category is double-charged), the two
+// derivations disagree. Only meaningful on complete streams.
+struct TraceBreakdown {
+  // Event counts (cross-checked against Table 3 counters).
+  std::uint64_t read_faults = 0;      // kFaultBegin with a0 == 0
+  std::uint64_t write_faults = 0;     // kFaultBegin with a0 == 1
+  std::uint64_t twin_creates = 0;     // vs Counter::kTwinCreations
+  std::uint64_t dir_updates = 0;      // vs Counter::kDirectoryUpdates
+  std::uint64_t barriers = 0;         // arrive events / procs
+  // Bytes placed on the MC (kMcWrite a1 sums). `data_bytes` sums only the
+  // Traffic classes the caller names (the paper's "Data" row);
+  // `total_bytes` sums every class.
+  std::uint64_t data_bytes = 0;
+  std::uint64_t total_bytes = 0;
+  // Virtual-time episode sums over all processors (Figure 6's non-compute
+  // slices as seen by the trace): fault handling between kFaultBegin/End,
+  // barrier episodes between kBarrierArrive/Depart.
+  std::uint64_t fault_ns = 0;
+  std::uint64_t barrier_ns = 0;
+  std::uint64_t unpaired_episodes = 0;  // begin without end (or vice versa)
+};
+
+// `data_traffic_classes` holds the Traffic enum values (as ints) that count
+// toward `data_bytes`; the caller supplies them so this layer does not
+// depend on mc/. `procs` bounds the per-processor pairing state.
+TraceBreakdown DeriveBreakdown(const std::vector<TraceEvent>& merged, int procs,
+                               const std::vector<int>& data_traffic_classes);
+
 }  // namespace cashmere
 
 #endif  // CASHMERE_COMMON_TRACE_CHECK_HPP_

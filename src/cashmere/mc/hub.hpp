@@ -28,6 +28,7 @@
 #include <cstdint>
 
 #include "cashmere/common/spin.hpp"
+#include "cashmere/common/thread_safety.hpp"
 #include "cashmere/common/types.hpp"
 #include "cashmere/common/word_access.hpp"
 
@@ -115,7 +116,13 @@ class McHub {
 
  private:
   int units_;
+  // Capability ordering the "bus": OrderedBroadcast32 / OrderedExchange32
+  // critical sections model MC's single global write order. It guards no
+  // hub field — the serialized stores land in caller-owned replicated
+  // locations — so there is no GUARDED_BY; the RAII guard plus the
+  // SpinLock capability annotations give the analysis the pairing.
   SpinLock order_lock_;
+  // Set once by the runtime before processor threads start; read-only after.
   double ns_per_byte_ = 0.0;
   std::atomic<std::uint64_t> bus_clock_{0};
   std::array<std::atomic<std::uint64_t>, kNumTrafficClasses> bytes_{};

@@ -396,10 +396,17 @@ void CashmereProtocol::FetchPage(Context& ctx, PageLocal& pl, PageId page) {
     if (UnitAtMaster(ctx.unit(), page)) {
       return;  // the holder's flush refreshed our (master) frame
     }
-    if (pl.ever_valid &&
-        pl.update_ts.load(std::memory_order_acquire) >
-            pl.wn_ts.load(std::memory_order_acquire)) {
-      return;  // the piggybacked copy sufficed
+    {
+      // ever_valid is lock-guarded (home relocation can write it from
+      // another unit's processor); take the lock for the probe. The
+      // timestamps are atomics, but reading them in the same critical
+      // section keeps the ever_valid/update_ts pair coherent.
+      SpinLockGuard guard(pl.lock);
+      if (pl.ever_valid &&
+          pl.update_ts.load(std::memory_order_acquire) >
+              pl.wn_ts.load(std::memory_order_acquire)) {
+        return;  // the piggybacked copy sufficed
+      }
     }
   }
   if (UnitAtMaster(ctx.unit(), page)) {
@@ -517,11 +524,11 @@ void CashmereProtocol::NoteLocalWrite(UnitId unit, int local_index, PageId page,
   WriteShard(unit, page, local_index).MarkRange(gen, offset, bytes);
 }
 
-void CashmereProtocol::MergeWriteShards(UnitId unit, PageId page, Stats* stats) {
+void CashmereProtocol::MergeWriteShards(UnitId unit, PageLocal& pl, PageId page,
+                                        Stats* stats) {
   if (cfg_.fault_mode != FaultMode::kSoftware) {
     return;  // shards are only fed in software fault mode
   }
-  PageLocal& pl = Unit(unit).Page(page);
   const std::uint64_t gen = pl.twin_gen.load(std::memory_order_relaxed);
   if ((gen & 1) == 0) {
     return;
@@ -558,14 +565,15 @@ void CashmereProtocol::MergeWriteShards(UnitId unit, PageId page, Stats* stats) 
 const DirtyBlockMap& CashmereProtocol::MergedTwinMapForTesting(UnitId unit, PageId page) {
   PageLocal& pl = Unit(unit).Page(page);
   SpinLockGuard guard(pl.lock);
-  MergeWriteShards(unit, page, nullptr);
+  MergeWriteShards(unit, pl, page, nullptr);
   return TwinMap(unit, page);
 }
 
 CashmereProtocol::FlushResult CashmereProtocol::FlushOutgoingDiffRuns(Context& ctx,
+                                                                     PageLocal& pl,
                                                                      PageId page,
                                                                      bool flush_update) {
-  MergeWriteShards(ctx.unit(), page, &ctx.stats());
+  MergeWriteShards(ctx.unit(), pl, page, &ctx.stats());
   DiffBuffer& buf = ctx.diff_scratch();
   DiffScanStats scan;
   EncodeOutgoingDiff(WorkingPtr(ctx.unit(), page), TwinPtr(ctx.unit(), page), flush_update,
@@ -586,8 +594,7 @@ CashmereProtocol::FlushResult CashmereProtocol::FlushOutgoingDiffRuns(Context& c
   ctx.stats().Add(Counter::kDiffRunsEmitted, scan.runs);
   ctx.stats().Add(Counter::kDiffRunBytes, scan.run_bytes);
   if (TraceActive()) {
-    TraceEmit(EventKind::kDiffEncode, page,
-              NextTraceSeq(Unit(ctx.unit()).Page(page)),
+    TraceEmit(EventKind::kDiffEncode, page, NextTraceSeq(pl),
               static_cast<std::uint32_t>(scan.runs), buf.words());
   }
   return FlushResult{buf.words(),
@@ -616,7 +623,7 @@ void CashmereProtocol::ShootdownLocalWriters(Context& ctx, PageLocal& pl, PageId
                        CostModel::UsToNs(per_victim * victims));
   }
   if (pl.twin_valid && !UnitAtMaster(ctx.unit(), page)) {
-    const FlushResult r = FlushOutgoingDiffRuns(ctx, page, /*flush_update=*/false);
+    const FlushResult r = FlushOutgoingDiffRuns(ctx, pl, page, /*flush_update=*/false);
     deps_.hub->ReserveBus(ctx.clock().now(), r.bus_bytes);
     pl.flush_ts.store(us.Tick(), std::memory_order_release);
     ctx.stats().Add(Counter::kPageFlushes);
@@ -823,7 +830,7 @@ void CashmereProtocol::FlushPage(Context& ctx, PageLocal& pl, PageId page,
     } else {
       // Flush-update: write local modifications to both the home node and
       // the twin, so overlapping releases skip redundant work (Section 2.5).
-      const FlushResult r = FlushOutgoingDiffRuns(ctx, page, /*flush_update=*/true);
+      const FlushResult r = FlushOutgoingDiffRuns(ctx, pl, page, /*flush_update=*/true);
       const std::size_t words = r.words;
       // The flusher is write-buffered and does not stall, but the diff
       // occupies the serial MC: later transfers queue behind it.
@@ -966,7 +973,7 @@ void CashmereProtocol::FinalFlush(Context& ctx) {
                   static_cast<std::uint32_t>(pl.excl_proc), 0);
       }
     } else if (pl.twin_valid) {
-      MergeWriteShards(ctx.unit(), page, &ctx.stats());
+      MergeWriteShards(ctx.unit(), pl, page, &ctx.stats());
       DiffScanStats scan;
       const std::size_t words =
           ApplyOutgoingDiff(WorkingPtr(ctx.unit(), page), TwinPtr(ctx.unit(), page),

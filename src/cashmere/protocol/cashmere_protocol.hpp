@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "cashmere/common/config.hpp"
+#include "cashmere/common/thread_safety.hpp"
 #include "cashmere/common/types.hpp"
 #include "cashmere/mc/hub.hpp"
 #include "cashmere/msg/message_layer.hpp"
@@ -67,7 +68,12 @@ class CashmereProtocol : public RequestHandler {
 
   // --- Entry points -----------------------------------------------------
   // Page fault by ctx's processor (from SIGSEGV or the software driver).
-  void OnFault(Context& ctx, PageId page, bool is_write);
+  // Escaped from the thread-safety analysis: the fault loop conditionally
+  // drops and retakes the page lock across iterations (fetch coalescing,
+  // fetch-in-progress hand-off), a dance beyond what the static analysis
+  // can follow. The lock pairing is exercised by every protocol test.
+  void OnFault(Context& ctx, PageId page, bool is_write)
+      CSM_NO_THREAD_SAFETY_ANALYSIS;
 
   // Consistency actions at a lock acquire / flag read / barrier departure.
   void AcquireSync(Context& ctx);
@@ -113,29 +119,35 @@ class CashmereProtocol : public RequestHandler {
 
  private:
   // Fault machinery.
-  bool NeedFetch(const PageLocal& pl, UnitId unit, PageId page) const;
-  void FetchPage(Context& ctx, PageLocal& pl, PageId page);
+  bool NeedFetch(const PageLocal& pl, UnitId unit, PageId page) const
+      CSM_REQUIRES(pl.lock);
+  // Takes the page lock internally (fetch_in_progress is set, so this
+  // processor is the page's only fetcher); must not be entered holding it.
+  void FetchPage(Context& ctx, PageLocal& pl, PageId page) CSM_EXCLUDES(pl.lock);
   // `piggyback` distinguishes images piggybacked on a break-exclusive reply
   // from home fetches; the replay checker exempts piggybacks from the
   // write-notice-before-diff invariant.
   void ApplyIncoming(Context& ctx, PageLocal& pl, PageId page, const std::byte* image,
-                     bool piggyback);
-  void BreakRemoteExclusive(Context& ctx, PageLocal& pl, PageId page, UnitId holder);
-  void WaitFetchDone(Context& ctx, PageLocal& pl);
+                     bool piggyback) CSM_REQUIRES(pl.lock);
+  void BreakRemoteExclusive(Context& ctx, PageLocal& pl, PageId page, UnitId holder)
+      CSM_EXCLUDES(pl.lock);
+  void WaitFetchDone(Context& ctx, PageLocal& pl) CSM_EXCLUDES(pl.lock);
   std::uint64_t AwaitReply(Context& ctx, std::uint64_t seq);
 
   // Write-fault helpers (page lock held).
-  void EnterExclusiveOrShare(Context& ctx, PageLocal& pl, PageId page);
-  void EnsureTwin(Context& ctx, PageLocal& pl, PageId page);
-  void ShootdownLocalWriters(Context& ctx, PageLocal& pl, PageId page);
+  void EnterExclusiveOrShare(Context& ctx, PageLocal& pl, PageId page)
+      CSM_REQUIRES(pl.lock);
+  void EnsureTwin(Context& ctx, PageLocal& pl, PageId page) CSM_REQUIRES(pl.lock);
+  void ShootdownLocalWriters(Context& ctx, PageLocal& pl, PageId page)
+      CSM_REQUIRES(pl.lock);
   // The traced counterpart of PageLocal::SetTwinValid (page lock held):
   // emits kTwinCreate/kTwinDiscard carrying the post-toggle generation so
   // the replay checker can verify the twin-iff-odd-generation invariant.
-  void SetTwinTraced(PageLocal& pl, PageId page, bool valid);
+  void SetTwinTraced(PageLocal& pl, PageId page, bool valid) CSM_REQUIRES(pl.lock);
 
   // Release machinery.
   void FlushPage(Context& ctx, PageLocal& pl, PageId page, std::uint64_t release_start,
-                 bool barrier_arrival);
+                 bool barrier_arrival) CSM_EXCLUDES(pl.lock);
   void SendWriteNotices(Context& ctx, PageId page);
   // Result of one outgoing diff flush: modified words (drives the DiffOut
   // virtual-time charge) and the bytes the transfer occupies on the serial
@@ -148,20 +160,28 @@ class CashmereProtocol : public RequestHandler {
   // Merges the unit's write-tracking shards into the twin's map, block-scans
   // working-vs-twin (restricted by the map), serializes the RLE runs into
   // the flusher's wire buffer in the message layer, and replays them into
-  // the home node's master copy as MC remote writes. Page lock held.
-  FlushResult FlushOutgoingDiffRuns(Context& ctx, PageId page, bool flush_update);
+  // the home node's master copy as MC remote writes. `pl` is the page's
+  // state on ctx's unit; its lock is held by the caller.
+  FlushResult FlushOutgoingDiffRuns(Context& ctx, PageLocal& pl, PageId page,
+                                    bool flush_update) CSM_REQUIRES(pl.lock);
   // OR-folds every local shard stamped with the current twin generation
-  // into the twin's master map; stale-generation shards are skipped. Page
-  // lock held (twin_gen cannot change mid-merge). `stats` (may be null)
-  // receives the kDirtyShardMerges count.
-  void MergeWriteShards(UnitId unit, PageId page, Stats* stats);
+  // into the twin's master map; stale-generation shards are skipped. `pl`
+  // is the page's state on `unit`; its lock is held by the caller
+  // (twin_gen cannot change mid-merge). `stats` (may be null) receives the
+  // kDirtyShardMerges count.
+  void MergeWriteShards(UnitId unit, PageLocal& pl, PageId page, Stats* stats)
+      CSM_REQUIRES(pl.lock);
 
   // Directory helpers (charge costs, honour the global-lock ablation).
   void UpdateDirWord(Context& ctx, PageId page, DirWord word);
-  void RefreshLoosestPerm(Context& ctx, PageLocal& pl, PageId page);
+  void RefreshLoosestPerm(Context& ctx, PageLocal& pl, PageId page)
+      CSM_REQUIRES(pl.lock);
 
   // First touch (Section 2.3, "Home node selection").
-  void MaybeFirstTouch(Context& ctx, PageId page);
+  // Escaped from the thread-safety analysis: acquires the global home lock
+  // through a TryLock-poll loop (servicing requests between attempts) and
+  // releases it on three different exits — beyond the analysis.
+  void MaybeFirstTouch(Context& ctx, PageId page) CSM_NO_THREAD_SAFETY_ANALYSIS;
   void RelocateSuperpage(Context& ctx, std::size_t superpage, UnitId new_home);
 
   // Topology helpers.
@@ -180,12 +200,13 @@ class CashmereProtocol : public RequestHandler {
   // (software fault mode with no pre-existing writer); otherwise the map
   // is conservatively full. Counts still-marked shards of earlier twin
   // generations as discarded (kDirtyShardStaleDrops).
-  void InitTwinMap(Context& ctx, const PageLocal& pl, UnitId unit, PageId page);
+  void InitTwinMap(Context& ctx, const PageLocal& pl, UnitId unit, PageId page)
+      CSM_REQUIRES(pl.lock);
   ProcId GlobalProc(UnitId unit, int local_index) const {
     return cfg_.FirstProcOfUnit(unit) + local_index;
   }
   void ProtectLocal(Context& ctx, PageLocal& pl, UnitId unit, int local_index, PageId page,
-                    Perm perm);
+                    Perm perm) CSM_REQUIRES(pl.lock);
   bool IsWriteDouble() const {
     return cfg_.protocol == ProtocolVariant::kOneLevelWriteDouble;
   }

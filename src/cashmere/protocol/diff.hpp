@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "cashmere/common/ownership.hpp"
 #include "cashmere/common/types.hpp"
 #include "cashmere/common/word_access.hpp"
 
@@ -108,8 +109,12 @@ struct alignas(64) DirtyMapShard {
   // Twin generation the bits belong to (PageLocal::twin_gen; odd = live
   // twin). Written only by the owning processor; readers (the merger, under
   // the page lock) treat a mismatch as "discard".
+  CSM_SINGLE_WRITER("the local processor this shard belongs to")
   std::atomic<std::uint64_t> gen{0};
+  CSM_SINGLE_WRITER("the local processor this shard belongs to")
   std::atomic<std::uint64_t> bits[DirtyBlockMap::kMapWords]{};
+  // Dynamic single-writer verifier (no-op unless ownership checks are on).
+  OwnerCell owner_check;
 
   // Owner-only. Re-stamps the shard when `g` differs from the recorded
   // generation (lazy reset: the merger never writes shards, so a reset can
@@ -119,6 +124,7 @@ struct alignas(64) DirtyMapShard {
   // and compiles with no lock prefix, so the common case — a small write
   // inside one 64-block map word — is a handful of plain loads and stores.
   void MarkRange(std::uint64_t g, std::size_t offset, std::size_t bytes) {
+    owner_check.NoteWrite("DirtyMapShard::MarkRange");
     if (gen.load(std::memory_order_relaxed) != g) {
       for (auto& w : bits) {
         w.store(0, std::memory_order_relaxed);

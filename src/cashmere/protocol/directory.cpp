@@ -26,6 +26,7 @@ DirWord GlobalDirectory::Read(PageId page, UnitId unit) const {
 }
 
 void GlobalDirectory::Write(PageId page, UnitId unit, DirWord word) {
+  CsmAssertUnitWriter(unit, "GlobalDirectory::Write");
   SpinLockGuard guard(OrderLock());
   StoreWord32(WordPtr(page, unit), word.Pack());
   hub_.AccountWrite(Traffic::kDirectory, kWordBytes * static_cast<std::size_t>(units_));
@@ -33,6 +34,7 @@ void GlobalDirectory::Write(PageId page, UnitId unit, DirWord word) {
 
 void GlobalDirectory::WriteAndSnapshot(PageId page, UnitId unit, DirWord word,
                                        std::uint32_t* snapshot) const {
+  CsmAssertUnitWriter(unit, "GlobalDirectory::WriteAndSnapshot");
   SpinLockGuard guard(OrderLock());
   StoreWord32(const_cast<std::uint32_t*>(WordPtr(page, unit)), word.Pack());
   hub_.AccountWrite(Traffic::kDirectory, kWordBytes * static_cast<std::size_t>(units_));

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cashmere/common/config.hpp"
+#include "cashmere/common/ownership.hpp"
 #include "cashmere/common/spin.hpp"
 #include "cashmere/common/types.hpp"
 #include "cashmere/mc/hub.hpp"
@@ -56,7 +57,9 @@ class GlobalDirectory {
 
   // Writes `unit`'s word for `page` via ordered MC broadcast. Only the
   // owning unit may call this for its own word (single-writer invariant),
-  // except during home relocation which holds the global home lock.
+  // except during home relocation which holds the global home lock and
+  // enters an OwnershipOverrideScope. Enforced dynamically via
+  // CsmAssertUnitWriter when ownership checks are on.
   void Write(PageId page, UnitId unit, DirWord word);
 
   // Ordered write that also returns a consistent snapshot taken inside the
@@ -96,6 +99,10 @@ class GlobalDirectory {
 
   int units_;
   McHub& hub_;
+  // One 32-bit word per (page, unit); word (p, u) is written only by unit u
+  // (home relocation excepted), so readers need no lock — the MC's 32-bit
+  // write atomicity is modeled by the word_access helpers.
+  CSM_SINGLE_WRITER("unit u for word (page, u)")
   mutable std::vector<std::uint32_t> words_;
   std::vector<PaddedLock> entry_locks_;
 };

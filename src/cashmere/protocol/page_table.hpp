@@ -23,6 +23,7 @@
 #include "cashmere/common/config.hpp"
 #include "cashmere/common/logging.hpp"
 #include "cashmere/common/spin.hpp"
+#include "cashmere/common/thread_safety.hpp"
 #include "cashmere/common/types.hpp"
 
 namespace cashmere {
@@ -40,9 +41,14 @@ struct PageLocal {
   // used to order release->acquire reconciliation.
   std::atomic<std::uint64_t> flush_vt{0};
 
-  std::uint8_t proc_perm[kMaxProcsPerNode] = {};  // Perm per local processor
-  std::uint8_t dirty_mask = 0;                    // local procs holding the page dirty
-  bool twin_valid = false;
+  // Perm per local processor. Written only under the page lock; the atomic
+  // type exists for PermOfLocalRelaxed, the software-fault driver's
+  // per-access probe, which reads without the lock (previously a plain
+  // unlocked read — a data race against cross-processor downgrades).
+  std::atomic<std::uint8_t> proc_perm[kMaxProcsPerNode] = {};
+  // Local procs holding the page dirty
+  std::uint8_t dirty_mask CSM_GUARDED_BY(lock) = 0;
+  bool twin_valid CSM_GUARDED_BY(lock) = false;
   // Twin generation: incremented (under the page lock, via SetTwinValid)
   // every time twin_valid toggles, so parity encodes validity (odd ⇔ a
   // twin is live). The lock-free write-tracking fast path reads it without
@@ -50,9 +56,12 @@ struct PageLocal {
   // stamped with a stale generation are discarded at merge time instead of
   // polluting a newer twin's map (see DirtyMapShard).
   std::atomic<std::uint64_t> twin_gen{0};
-  bool exclusive = false;   // this unit holds the page in exclusive mode
-  ProcId excl_proc = 0;     // processor recorded as the exclusive holder
-  bool ever_valid = false;  // the local frame has held a valid copy
+  // This unit holds the page in exclusive mode
+  bool exclusive CSM_GUARDED_BY(lock) = false;
+  // Processor recorded as the exclusive holder
+  ProcId excl_proc CSM_GUARDED_BY(lock) = 0;
+  // The local frame has held a valid copy
+  bool ever_valid CSM_GUARDED_BY(lock) = false;
   // Trace-only transition sequence: bumped (under the page lock) for every
   // traced per-page protocol transition, giving the replay invariant
   // checker a total order over one page's transitions that does not depend
@@ -65,7 +74,7 @@ struct PageLocal {
   // generation's parity in sync with the flag. Idempotent stores (e.g.
   // re-clearing an already-invalid twin during superpage relocation) do not
   // bump the generation, so every live twin has exactly one odd generation.
-  void SetTwinValid(bool v) {
+  void SetTwinValid(bool v) CSM_REQUIRES(lock) {
     if (twin_valid == v) {
       return;
     }
@@ -73,25 +82,37 @@ struct PageLocal {
     twin_gen.fetch_add(1, std::memory_order_release);
   }
 
-  Perm PermOfLocal(int local_index) const {
-    return static_cast<Perm>(proc_perm[local_index]);
+  Perm PermOfLocal(int local_index) const CSM_REQUIRES(lock) {
+    return static_cast<Perm>(proc_perm[local_index].load(std::memory_order_relaxed));
   }
-  void SetPermOfLocal(int local_index, Perm p) {
-    proc_perm[local_index] = static_cast<std::uint8_t>(p);
+  // Unlocked fast-path probe (EnsureRead/EnsureWrite, per instrumented
+  // access). A stale read is benign: a racing *upgrade* only causes a
+  // spurious fault that re-validates under the lock, and a racing
+  // *downgrade* can be ordered before the probe anyway — equivalent to the
+  // access having happened just before the downgrader took the lock, which
+  // the flush/merge discipline already tolerates (monotone dirty maps,
+  // stale-generation shard discard).
+  Perm PermOfLocalRelaxed(int local_index) const {
+    return static_cast<Perm>(proc_perm[local_index].load(std::memory_order_relaxed));
   }
-  Perm Loosest(int procs_per_unit) const {
+  void SetPermOfLocal(int local_index, Perm p) CSM_REQUIRES(lock) {
+    proc_perm[local_index].store(static_cast<std::uint8_t>(p), std::memory_order_relaxed);
+  }
+  Perm Loosest(int procs_per_unit) const CSM_REQUIRES(lock) {
     Perm loosest = Perm::kInvalid;
     for (int i = 0; i < procs_per_unit; ++i) {
-      if (proc_perm[i] > static_cast<std::uint8_t>(loosest)) {
-        loosest = static_cast<Perm>(proc_perm[i]);
+      const std::uint8_t p = proc_perm[i].load(std::memory_order_relaxed);
+      if (p > static_cast<std::uint8_t>(loosest)) {
+        loosest = static_cast<Perm>(p);
       }
     }
     return loosest;
   }
-  int WriterCount(int procs_per_unit) const {
+  int WriterCount(int procs_per_unit) const CSM_REQUIRES(lock) {
     int n = 0;
     for (int i = 0; i < procs_per_unit; ++i) {
-      if (proc_perm[i] == static_cast<std::uint8_t>(Perm::kReadWrite)) {
+      if (proc_perm[i].load(std::memory_order_relaxed) ==
+          static_cast<std::uint8_t>(Perm::kReadWrite)) {
         ++n;
       }
     }
@@ -140,14 +161,15 @@ class PageList {
   }
 
   bool Empty() const {
-    SpinLockGuard guard(const_cast<SpinLock&>(lock_));
+    SpinLockGuard guard(lock_);
     return pages_.empty();
   }
 
  private:
   mutable SpinLock lock_;
+  // Read lock-free by Contains (dedup hint); mutated only under lock_.
   std::vector<std::atomic<std::uint32_t>> bitmap_;
-  std::vector<PageId> pages_;
+  std::vector<PageId> pages_ CSM_GUARDED_BY(lock_);
 };
 
 // All protocol state owned by one coherence unit.

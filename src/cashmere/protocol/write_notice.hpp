@@ -20,6 +20,7 @@
 
 #include "cashmere/common/config.hpp"
 #include "cashmere/common/spin.hpp"
+#include "cashmere/common/thread_safety.hpp"
 #include "cashmere/common/types.hpp"
 #include "cashmere/mc/hub.hpp"
 
@@ -35,7 +36,9 @@ class PageNoticeQueue {
   PageNoticeQueue& operator=(const PageNoticeQueue&) = delete;
 
   // Returns true if the page was newly enqueued (bit was clear).
-  bool Post(PageId page);
+  // Producer side: requires producer_lock when several processors can
+  // produce into this queue (both call sites below take it).
+  bool Post(PageId page) CSM_REQUIRES(producer_lock);
   // Drains all pending notices, invoking fn(page) for each. The bit is
   // cleared *before* fn runs, so a concurrent Post re-enqueues rather than
   // being lost. Returns the number drained.
@@ -83,6 +86,13 @@ class PageNoticeQueue {
   void ClearBit(PageId page);
 
   std::vector<std::atomic<std::uint32_t>> bitmap_;
+  // ring_ is deliberately NOT GUARDED_BY a lock: slot (h % size) is written
+  // by the producer (under producer_lock) strictly before the release store
+  // of head_ = h + 1, and read by the consumer only after its acquire load
+  // of head_ observes h + 1 — a release/acquire handoff, the same idiom as
+  // the message-layer bins. Capacity = page count and the bitmap dedup
+  // guarantee head and tail can never be more than `pages` apart, so a slot
+  // is never overwritten while still unconsumed.
   std::vector<PageId> ring_;
   std::atomic<std::uint64_t> head_{0};
   std::atomic<std::uint64_t> tail_{0};

@@ -58,7 +58,7 @@ void Context::EnsureRead(const void* addr, std::size_t bytes) {
   const PageId first = PageOf(offset);
   const PageId last = PageOf(offset + (bytes == 0 ? 0 : bytes - 1));
   for (PageId page = first; page <= last; ++page) {
-    if (runtime_->protocol().PageState(unit_, page).PermOfLocal(local_index_) ==
+    if (runtime_->protocol().PageState(unit_, page).PermOfLocalRelaxed(local_index_) ==
         Perm::kInvalid) {
       runtime_->protocol().OnFault(*this, page, /*is_write=*/false);
     }
@@ -71,7 +71,7 @@ void Context::EnsureWrite(void* addr, std::size_t bytes) {
   const PageId last = PageOf(offset + (bytes == 0 ? 0 : bytes - 1));
   const GlobalAddr end = offset + bytes;
   for (PageId page = first; page <= last; ++page) {
-    if (runtime_->protocol().PageState(unit_, page).PermOfLocal(local_index_) !=
+    if (runtime_->protocol().PageState(unit_, page).PermOfLocalRelaxed(local_index_) !=
         Perm::kReadWrite) {
       runtime_->protocol().OnFault(*this, page, /*is_write=*/true);
     }

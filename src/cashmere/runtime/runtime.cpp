@@ -8,6 +8,7 @@
 
 #include "cashmere/common/calibration.hpp"
 #include "cashmere/common/logging.hpp"
+#include "cashmere/common/ownership.hpp"
 #include "cashmere/protocol/diff.hpp"
 
 namespace cashmere {
@@ -230,8 +231,15 @@ void Runtime::WatchdogLoop() {
         for (PageId page = 0; page < cfg_.pages(); ++page) {
           PageLocal& pl = protocol_->PageState(u, page);
           const bool fip = pl.fetch_in_progress.load(std::memory_order_relaxed);
+          // excl/twin are lock-guarded: sample them while the probe holds
+          // the lock (the seed read them after Unlock — a data race). When
+          // the lock is busy they are unknown, reported as -1.
+          int excl = -1;
+          int twin = -1;
           const bool got = pl.lock.TryLock();
           if (got) {
+            excl = pl.exclusive ? 1 : 0;
+            twin = pl.twin_valid ? 1 : 0;
             pl.lock.Unlock();
           }
           if (fip || !got) {
@@ -239,8 +247,29 @@ void Runtime::WatchdogLoop() {
                          "  unit=%d page=%u pl=%x fip=%d lock_held=%d excl=%d twin=%d\n", u,
                          page,
                          (unsigned)(reinterpret_cast<std::uintptr_t>(&pl) & 0xffffffffu),
-                         fip ? 1 : 0, got ? 0 : 1, pl.exclusive ? 1 : 0,
-                         pl.twin_valid ? 1 : 0);
+                         fip ? 1 : 0, got ? 0 : 1, excl, twin);
+          }
+        }
+      }
+      if (trace_log_) {
+        // Live trace drain: dump each processor's retained ring tail so a
+        // stall shows *what the protocol was doing*, not just where each
+        // processor is parked. DebugTail reads race the (possibly still
+        // appending) owners by design; a torn record at worst prints one
+        // nonsense line in a crash dump.
+        std::fprintf(stderr, "cashmere: watchdog: trace ring tails (racy read):\n");
+        constexpr std::size_t kTailEvents = 16;
+        TraceEvent tail[kTailEvents];
+        for (ProcId tp = 0; tp < cfg_.total_procs(); ++tp) {
+          const std::size_t n = trace_log_->ring(tp).DebugTail(tail, kTailEvents);
+          for (std::size_t i = 0; i < n; ++i) {
+            const TraceEvent& e = tail[i];
+            std::fprintf(stderr,
+                         "  p%-2d %-18s page=%d seq=%u a0=%u a1=%llu vt=%.6f\n", tp,
+                         EventKindName(static_cast<EventKind>(e.kind)),
+                         e.page == kNoTracePage ? -1 : static_cast<int>(e.page), e.seq,
+                         e.a0, (unsigned long long)e.a1,
+                         static_cast<double>(e.vt) / 1e9);
           }
         }
       }
@@ -275,6 +304,10 @@ void Runtime::Run(const std::function<void(Context&)>& body) {
     threads.emplace_back([this, p, scale, &body, &final_vt] {
       Context& ctx = contexts_[static_cast<std::size_t>(p)];
       Context::Bind(&ctx);
+      // Declare this thread's identity to the single-writer ownership
+      // checker: it is the sole legitimate writer of processor p's stats,
+      // trace ring, and dirty-map shards.
+      OwnershipBindThread(p, ctx.unit());
       ctx.clock().Start(scale);
       if (trace_log_) {
         TraceBindThread(&trace_log_->ring(p), &ctx.clock(), p);
@@ -291,6 +324,7 @@ void Runtime::Run(const std::function<void(Context&)>& body) {
       }
       internal_barrier_->Wait(ctx);
       TraceUnbindThread();
+      OwnershipUnbindThread();
       Context::Bind(nullptr);
     });
   }

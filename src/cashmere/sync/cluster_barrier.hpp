@@ -39,6 +39,11 @@ class ClusterBarrier {
   void set_trace_id(int id) { trace_id_ = id; }
 
  private:
+  // Unlike the directory / lock-array / flag structures, barrier episode
+  // state is genuinely multi-writer: arrival counters are real RMWs
+  // (fetch_add) and max_vt is a CAS max-fold. It is therefore exempt from
+  // the single-writer ownership discipline (no CSM_SINGLE_WRITER /
+  // OwnerCell here) — the atomics carry the full synchronization.
   struct Episode {
     std::atomic<int> arrived{0};
     std::atomic<std::uint64_t> max_vt{0};

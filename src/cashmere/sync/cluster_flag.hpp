@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "cashmere/common/config.hpp"
+#include "cashmere/common/ownership.hpp"
 #include "cashmere/common/types.hpp"
 #include "cashmere/mc/hub.hpp"
 
@@ -39,7 +40,11 @@ class ClusterFlag {
   const Config& cfg_;
   McHub& hub_;
   CashmereProtocol& protocol_;
+  // Flags are single-writer by contract (Section 2.2): one producer calls
+  // Set with monotonically increasing values; consumers only WaitGe/Peek.
+  CSM_SINGLE_WRITER("the producing processor of this flag")
   std::atomic<std::uint64_t> value_{0};
+  CSM_SINGLE_WRITER("the producing processor of this flag")
   std::atomic<VirtTime> set_vt_{0};
 };
 

@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "cashmere/common/config.hpp"
+#include "cashmere/common/ownership.hpp"
 #include "cashmere/common/spin.hpp"
 #include "cashmere/common/types.hpp"
 #include "cashmere/mc/hub.hpp"
@@ -52,7 +53,11 @@ class ClusterLock {
   CashmereProtocol& protocol_;
   // Per-node test-and-set flags (ll/sc on the real system).
   std::atomic<bool> node_flag_[kMaxNodes] = {};
-  // The replicated MC lock array: one word per unit.
+  // The replicated MC lock array: one word per unit. Entry u is written
+  // only by unit u (through McHub::OrderedBroadcast32, which serializes the
+  // writes in MC total order); any unit may read any entry. This is what
+  // makes the array lock-free on the network — no RMW ever crosses units.
+  CSM_SINGLE_WRITER("unit u for entries_[u]")
   std::uint32_t entries_[kMaxProcs] = {};
   std::atomic<VirtTime> release_vt_{0};
 };

@@ -33,6 +33,9 @@ bool IsWriteFault(void* ucontext_ptr) {
 }  // namespace
 
 FaultDispatcher& FaultDispatcher::Instance() {
+  // csm-lint: allow(fault-path-blocking) -- one-time lazy init; the first
+  // call is always Register (before any fault can dispatch), so OnSignal
+  // only ever sees the already-constructed instance.
   static FaultDispatcher* instance = new FaultDispatcher();
   return *instance;
 }
@@ -41,7 +44,7 @@ void FaultDispatcher::Register(FaultSink* sink) {
   SpinLockGuard guard(lock_);
   if (!installed_) {
     struct sigaction action;
-    memset(&action, 0, sizeof(action));
+    memset(&action, 0, sizeof(action));  // csm-lint: allow(raw-page-copy) -- zeroes a local sigaction struct
     action.sa_sigaction = reinterpret_cast<void (*)(int, siginfo_t*, void*)>(
         reinterpret_cast<void*>(&FaultDispatcher::OnSignal));
     action.sa_flags = SA_SIGINFO | SA_NODEFER;

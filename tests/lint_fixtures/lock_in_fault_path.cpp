@@ -1,0 +1,28 @@
+// Known-bad fixture: blocking primitives and heap allocation on the SIGSEGV
+// fault path. A fault can interrupt a thread that already holds the very
+// std::mutex the handler would take (self-deadlock), and malloc/new are not
+// async-signal-safe. The fault path may only use SpinLock and
+// pre-allocated state.
+//
+// csm-lint-domain: fault-path
+// csm-lint-expect: fault-path-blocking  (the std::mutex declaration)
+// csm-lint-expect: fault-path-blocking  (the lock_guard acquisition)
+// csm-lint-expect: fault-path-blocking  (sleep_for)
+// csm-lint-expect: fault-path-blocking  (malloc)
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+std::mutex g_handler_mutex;
+
+void BadOnSignal(int /*signo*/, void* /*info*/, void* /*ucontext*/) {
+  std::lock_guard<std::mutex> guard(g_handler_mutex);  // std::mutex: self-deadlock
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // sleep_for in a handler
+  void* scratch = std::malloc(64);  // not async-signal-safe
+  std::free(scratch);
+}
+
+}  // namespace fixture

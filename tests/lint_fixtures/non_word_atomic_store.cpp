@@ -1,0 +1,37 @@
+// Known-bad fixture: non-word-atomic stores into shared page memory.
+// A 64-bit pointer store can tear across the MC's 32-bit atomicity grain;
+// a per-site atomic_ref with an ad-hoc ordering bypasses the one reviewed
+// implementation of the word-access discipline (word_access.hpp).
+//
+// csm-lint-domain: mc
+// csm-lint-expect: word-cast-store
+// csm-lint-expect: word-cast-store
+// csm-lint-expect: atomic-bypass
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+void BadWideStore(std::byte* frame, std::size_t offset, std::uint64_t value) {
+  *reinterpret_cast<std::uint64_t*>(frame + offset) = value;  // tears at 32-bit grain
+}
+
+void BadByteStore(std::byte* frame, std::size_t offset, unsigned char value) {
+  *reinterpret_cast<unsigned char*>(frame + offset) = value;  // sub-word RMW on the MC
+}
+
+void BadAdHocAtomic(std::byte* frame, std::size_t offset, std::uint32_t value) {
+  // Word-sized, but bypasses word_access.hpp: the cast target is exempt
+  // from word-cast-store (32-bit), yet atomic_ref outside word_access.hpp
+  // is flagged regardless of domain.
+  std::atomic_ref<std::uint32_t> ref(
+      *reinterpret_cast<std::uint32_t*>(frame + offset));
+  ref.store(value, std::memory_order_seq_cst);
+}
+
+// Reads through a const cast are allowed (word-cast-store targets stores):
+std::uint64_t OkWideRead(const std::byte* frame, std::size_t offset) {
+  return *reinterpret_cast<const std::uint64_t*>(frame + offset);
+}
+
+}  // namespace fixture

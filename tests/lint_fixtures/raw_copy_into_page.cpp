@@ -1,0 +1,30 @@
+// Known-bad fixture: bulk byte copy straight into a shared page frame.
+// The Memory Channel guarantees 32-bit write atomicity only; a memcpy into
+// page memory can land torn sub-word stores that a concurrent remote reader
+// observes. The sanctioned path is CopyPage / StoreWord32Relaxed in
+// word_access.hpp.
+//
+// csm-lint-domain: protocol
+// csm-lint-expect: raw-page-copy
+// csm-lint-expect: raw-page-copy
+// csm-lint-expect: bad-waiver
+#include <cstring>
+
+namespace fixture {
+
+void BadPageInstall(std::byte* frame, const std::byte* incoming, std::size_t bytes) {
+  std::memcpy(frame, incoming, bytes);  // torn stores on the MC
+}
+
+void BadPageClear(std::byte* frame, std::size_t bytes) {
+  // An allow() without a '-- justification' must not silence the rule: it
+  // is reported as bad-waiver AND the memset below is still flagged.
+  // csm-lint: allow(raw-page-copy)
+  std::memset(frame, 0, bytes);
+}
+
+// A comment mentioning memcpy must NOT be flagged, and neither must the
+// string literal below: only real code counts.
+const char* kDoc = "never memcpy into a page";
+
+}  // namespace fixture

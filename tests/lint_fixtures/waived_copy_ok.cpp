@@ -1,0 +1,22 @@
+// Known-good fixture: a justified waiver suppresses the finding. This pins
+// the waiver syntax itself — if waiver parsing regresses, this fixture
+// starts reporting raw-page-copy and the fixture check fails (it expects
+// only the unwaived memmove below).
+//
+// csm-lint-domain: msg
+// csm-lint-expect: raw-page-copy
+#include <cstring>
+
+namespace fixture {
+
+void JustifiedPrivateCopy(std::byte* slot, const std::byte* local, std::size_t bytes) {
+  // csm-lint: allow(raw-page-copy) -- the slot is private to this processor;
+  // data re-enters shared memory through MC word writes.
+  std::memcpy(slot, local, bytes);
+}
+
+void UnwaivedCopy(std::byte* dst, const std::byte* src, std::size_t bytes) {
+  std::memmove(dst, src, bytes);  // no waiver: must be flagged
+}
+
+}  // namespace fixture

@@ -21,6 +21,9 @@ Config PtConfig() {
 
 TEST(PageLocalTest, LoosestPermAcrossProcessors) {
   PageLocal pl;
+  // Guarded fields: hold the page lock as the protocol does (and as the
+  // clang thread-safety build requires).
+  SpinLockGuard guard(pl.lock);
   EXPECT_EQ(pl.Loosest(4), Perm::kInvalid);
   pl.SetPermOfLocal(2, Perm::kRead);
   EXPECT_EQ(pl.Loosest(4), Perm::kRead);
@@ -120,6 +123,7 @@ TEST(UnitStateTest, TimestampFieldsStartAtZero) {
   EXPECT_EQ(pl.update_ts.load(), 0u);
   EXPECT_EQ(pl.wn_ts.load(), 0u);
   EXPECT_EQ(pl.flush_ts.load(), 0u);
+  SpinLockGuard guard(pl.lock);
   EXPECT_FALSE(pl.ever_valid);
   EXPECT_FALSE(pl.twin_valid);
   EXPECT_FALSE(pl.exclusive);

@@ -42,5 +42,42 @@ TEST(WatchdogDeathTest, SpinningWithoutSynchronizationAborts) {
       "watchdog");
 }
 
+// With tracing enabled, the stall diagnostic must also drain the retained
+// per-processor trace-ring tails so the post-mortem shows what each
+// processor last did — the death regex pins the drain header, and the
+// barrier-arrive event name proves real events (not garbage) are printed:
+// the spinning processor's tail necessarily ends with its Barrier(0)
+// arrive/depart pair.
+TEST(WatchdogDeathTest, StallDumpDrainsTraceRingTails) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Config cfg;
+        cfg.nodes = 2;
+        cfg.procs_per_node = 1;
+        cfg.heap_bytes = 64 * 1024;
+        cfg.cost.time_scale = 3.0;
+        cfg.watchdog_seconds = 2.0;
+        cfg.trace.enabled = true;
+        Runtime rt(cfg);
+        const GlobalAddr a = rt.AllocArray<int>(16);
+        rt.Run([&](Context& ctx) {
+          volatile int* p = ctx.Ptr<volatile int>(a);
+          if (ctx.proc() == 0) {
+            ctx.Barrier(0);
+            p[0] = 1;
+            ctx.Barrier(1);
+          } else {
+            (void)p[0];
+            ctx.Barrier(0);
+            while (p[0] == 0) {
+            }
+            ctx.Barrier(1);
+          }
+        });
+      },
+      "trace ring tails.*barrier-arrive");
+}
+
 }  // namespace
 }  // namespace cashmere
