@@ -49,6 +49,7 @@ constexpr VariantFlag kVariantFlags[] = {
     {" interrupts", [](const Config& c) { return c.delivery == DeliveryMode::kInterrupt; }},
     {" run-hdrs", [](const Config& c) { return c.diff.charge_run_headers; }},
     {" trace", [](const Config& c) { return c.trace.enabled; }},
+    {" no-perm-batch", [](const Config& c) { return !c.vm.batch_mprotect; }},
 };
 
 }  // namespace

@@ -71,6 +71,19 @@ struct TraceOptions {
   std::uint32_t ring_events = 1u << 14;
 };
 
+// VM permission-engine variants (vm/perm_batch.hpp).
+struct VmTuning {
+  // Batch protocol permission changes per episode through the PermBatch
+  // engine: queued transitions are sorted, deduplicated, elided against the
+  // view shadow table, and committed as one mprotect per coalesced range.
+  // Off = commit each queued transition immediately, reproducing the
+  // historical one-syscall-per-page behaviour (the bench_protect baseline).
+  // Either setting must leave the modeled virtual-time outputs
+  // byte-identical: batching moves when syscalls happen, never what the
+  // simulated protocol observes.
+  bool batch_mprotect = true;
+};
+
 // Cost-model scaling knobs.
 struct CostTuning {
   // Multiplier applied to every modeled protocol cost (Runtime applies it
@@ -104,6 +117,7 @@ struct Config {
 
   DiffTuning diff;
   TraceOptions trace;
+  VmTuning vm;
   CostTuning cost;
 
   CostModel costs;

@@ -60,6 +60,10 @@ const char* CounterName(Counter c) {
       return "Trace Events";
     case Counter::kTraceDrops:
       return "Trace Drops";
+    case Counter::kMprotectCalls:
+      return "Mprotect Calls";
+    case Counter::kMprotectPagesCoalesced:
+      return "Mprotect Pages Coalesced";
     case Counter::kNumCounters:
       break;
   }

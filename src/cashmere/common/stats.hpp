@@ -50,6 +50,9 @@ enum class Counter : int {
   // Structured event tracing (common/trace.hpp).
   kTraceEvents,          // typed events appended to the per-proc rings
   kTraceDrops,           // events lost to ring wraparound
+  kMprotectCalls,        // mprotect syscalls issued by PermBatch commits
+  kMprotectPagesCoalesced,  // pages whose syscall was merged into a range
+                            // (applied pages minus calls)
   kNumCounters,
 };
 inline constexpr int kNumCounters = static_cast<int>(Counter::kNumCounters);

@@ -62,6 +62,8 @@ const char* EventKindName(EventKind kind) {
       return "page-protect";
     case EventKind::kHomeRelocate:
       return "home-relocate";
+    case EventKind::kProtectRange:
+      return "protect-range";
     case EventKind::kNumKinds:
       break;
   }

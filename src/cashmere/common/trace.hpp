@@ -68,6 +68,10 @@ enum class EventKind : std::uint8_t {
                        // mapping changed (may differ from the emitter)
   kHomeRelocate,       // first-touch relocation: a0 = new home unit,
                        // a1 = old home unit
+  kProtectRange,       // one coalesced mprotect issued by a PermBatch
+                       // commit: page = first page, a0 = new Perm,
+                       // a1 = (proc whose mapping changed) << 32 | page
+                       // count; seq = 0 (not a locked page transition)
   kNumKinds,
 };
 inline constexpr int kNumEventKinds = static_cast<int>(EventKind::kNumKinds);

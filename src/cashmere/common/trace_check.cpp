@@ -325,6 +325,10 @@ TraceBreakdown DeriveBreakdown(const std::vector<TraceEvent>& merged, int procs,
       case EventKind::kDirUpdate:
         ++b.dir_updates;
         break;
+      case EventKind::kProtectRange:
+        ++b.mprotect_calls;
+        b.mprotect_pages_coalesced += (e.a1 & 0xffffffffu) - 1;
+        break;
       case EventKind::kMcWrite:
         b.total_bytes += e.a1;
         for (const int cls : data_traffic_classes) {

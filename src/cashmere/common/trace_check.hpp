@@ -74,6 +74,11 @@ struct TraceBreakdown {
   // `total_bytes` sums every class.
   std::uint64_t data_bytes = 0;
   std::uint64_t total_bytes = 0;
+  // PermBatch commits (kProtectRange): each event is one mprotect call
+  // covering `count` pages (a1 low word), so the counts cross-check
+  // Counter::kMprotectCalls / kMprotectPagesCoalesced exactly.
+  std::uint64_t mprotect_calls = 0;
+  std::uint64_t mprotect_pages_coalesced = 0;  // sum of (count - 1)
   // Virtual-time episode sums over all processors (Figure 6's non-compute
   // slices as seen by the trace): fault handling between kFaultBegin/End,
   // barrier episodes between kBarrierArrive/Depart.

@@ -7,6 +7,7 @@
 #include "cashmere/common/trace.hpp"
 #include "cashmere/msg/diff_wire.hpp"
 #include "cashmere/protocol/diff.hpp"
+#include "cashmere/vm/perm_batch.hpp"
 
 
 namespace cashmere {
@@ -76,10 +77,35 @@ void CashmereProtocol::ProtectLocal(Context& ctx, PageLocal& pl, UnitId unit, in
               static_cast<std::uint64_t>(GlobalProc(unit, local_index)));
   }
   if (cfg_.fault_mode == FaultMode::kSigsegv) {
-    ViewOf(GlobalProc(unit, local_index)).Protect(page, perm);
+    // Queue the hardware change instead of issuing it: the episode commits
+    // the coalesced batch before any point where a stale-loose mapping
+    // could be observed (DESIGN.md §11). Software mode never queues — the
+    // views stay fully open and the page table alone carries permissions.
+    ctx.perm_batch().Add(GlobalProc(unit, local_index), page, perm);
+    if (!cfg_.vm.batch_mprotect) {
+      ctx.perm_batch().Commit();  // historical one-syscall-per-page timing
+    }
   }
   ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
                      CostModel::UsToNs(cfg_.costs.mprotect_us));
+}
+
+void CashmereProtocol::CommitPermBatch(Context& ctx) {
+  if (cfg_.fault_mode != FaultMode::kSigsegv) {
+    return;
+  }
+  ctx.perm_batch().Commit();
+}
+
+Perm CashmereProtocol::ResolveQueuedPerm(void* self, ProcId proc, PageId page,
+                                         Perm /*queued*/) {
+  auto* proto = static_cast<CashmereProtocol*>(self);
+  const UnitId unit = proto->cfg_.UnitOfProc(proc);
+  // Lock-free probe of the protocol's current truth (documented benign
+  // race, page_table.hpp): the view commit lock's release/acquire ordering
+  // ensures the last commit to touch a page observes its latest transition.
+  return proto->Unit(unit).Page(page).PermOfLocalRelaxed(
+      proc - proto->cfg_.FirstProcOfUnit(unit));
 }
 
 // ---------------------------------------------------------------------------
@@ -230,6 +256,10 @@ void CashmereProtocol::HandleRequest(const Request& request) {
         ProtectLocal(ctx, pl, ctx.unit(), holder_li, page, Perm::kRead);
       }
       RefreshLoosestPerm(ctx, pl, page);
+      // The holder's hardware downgrade must land before the page is
+      // shipped: a deferred mprotect would leave a window where the holder
+      // keeps writing after the requester copied the "latest" contents.
+      CommitPermBatch(ctx);
       // Piggyback the latest copy of the page to the requester.
       ReplySlot& slot = deps_.msg->SlotOf(request.from_proc);
       deps_.hub->WriteStream(slot.data, working, kWordsPerPage, Traffic::kPageData);
@@ -241,7 +271,6 @@ void CashmereProtocol::HandleRequest(const Request& request) {
 
 std::uint64_t CashmereProtocol::AwaitReply(Context& ctx, std::uint64_t seq) {
   ctx.SetDebugState(2, seq);
-  (void)0;
   ReplySlot& slot = deps_.msg->SlotOf(ctx.proc());
   Backoff backoff;
   while (slot.done_seq.load(std::memory_order_acquire) < seq) {
@@ -622,6 +651,10 @@ void CashmereProtocol::ShootdownLocalWriters(Context& ctx, PageLocal& pl, PageId
     ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
                        CostModel::UsToNs(per_victim * victims));
   }
+  // The victims' hardware downgrades must land before the diff scan below:
+  // a writer left RW past this point could dirty words the scan already
+  // visited, losing the write.
+  CommitPermBatch(ctx);
   if (pl.twin_valid && !UnitAtMaster(ctx.unit(), page)) {
     const FlushResult r = FlushOutgoingDiffRuns(ctx, pl, page, /*flush_update=*/false);
     deps_.hub->ReserveBus(ctx.clock().now(), r.bus_bytes);
@@ -746,6 +779,11 @@ void CashmereProtocol::OnFault(Context& ctx, PageId page, bool is_write) {
   }
   RefreshLoosestPerm(ctx, pl, page);
   pl.lock.Unlock();
+  // Mandatory commit: the faulting instruction retries as soon as the
+  // handler returns, so the upgrade must be in hardware here. Batch size is
+  // normally 1 (plus anything a nested shootdown or break queued); the win
+  // on this path is the shadow-table elision, not coalescing.
+  CommitPermBatch(ctx);
   TraceEmit(EventKind::kFaultEnd, page, 0, is_write ? 1u : 0u, 0);
   ctx.SetDebugState(0, 0);
 }
@@ -872,12 +910,20 @@ void CashmereProtocol::ReleaseSync(Context& ctx, bool barrier_arrival) {
   const std::uint64_t release_start = us.Tick();
   us.last_release_time().store(release_start, std::memory_order_release);
 
-  std::vector<PageId> pages;
+  // Reusable per-processor scratch (capacity reserved by the Runtime): the
+  // release hot path never allocates.
+  std::vector<PageId>& pages = ctx.release_scratch();
+  pages.clear();
   us.DirtyList(li).TakeAll(pages);
   us.NleList(li).TakeAll(pages);
   for (const PageId page : pages) {
     FlushPage(ctx, us.Page(page), page, release_start, barrier_arrival);
   }
+  // One commit for the whole release: contiguous RW->R downgrades queued by
+  // the FlushPage loop collapse into ranged mprotects. It must land before
+  // the release completes — once a remote acquirer observes this release,
+  // our writes here must fault again.
+  CommitPermBatch(ctx);
 }
 
 // ---------------------------------------------------------------------------
@@ -939,6 +985,11 @@ void CashmereProtocol::AcquireSync(Context& ctx) {
       RefreshLoosestPerm(ctx, pl, page);
     }
   });
+  // One commit for the whole drain: the invalidations collected under the
+  // per-page locks above coalesce into ranged mprotects, and they must be
+  // in hardware before the acquire returns — user code may read these
+  // pages the next instruction.
+  CommitPermBatch(ctx);
   ctx.SetDebugState(static_cast<int>(prev_state >> 56), prev_state & 0xffffffffull);
 }
 
@@ -985,6 +1036,10 @@ void CashmereProtocol::FinalFlush(Context& ctx) {
     }
     pl.dirty_mask = 0;
   }
+  // Currently a no-op (the loop above copies through arena pointers and
+  // queues nothing), but the end-of-run quiesce is an episode boundary and
+  // keeps the inventory rule: no episode exits with a pending batch.
+  CommitPermBatch(ctx);
 }
 
 // ---------------------------------------------------------------------------
@@ -1057,6 +1112,10 @@ void CashmereProtocol::RelocateSuperpage(Context& ctx, std::size_t sp, UnitId ne
         ProtectLocal(ctx, opl, old_home, li, page, Perm::kRead);
       }
     }
+    // The old-home downgrades must be in hardware before the master copy
+    // moves below: a writer left RW would dirty the old frame after it was
+    // copied, and the write would vanish.
+    CommitPermBatch(ctx);
     // No twin-discard event for the old home: master units never hold twins
     // (and the event stream attributes sequenced events to the emitting
     // processor's unit, which is the new home here).
@@ -1108,9 +1167,19 @@ void CashmereProtocol::RelocateSuperpage(Context& ctx, std::size_t sp, UnitId ne
         PageLocal& pl = pus.Page(page);
         SpinLockGuard guard(pl.lock);
         pl.SetPermOfLocal(p - cfg_.FirstProcOfUnit(pu), Perm::kInvalid);
+        if (cfg_.fault_mode == FaultMode::kSigsegv) {
+          // Explicitly re-queue kInvalid for the remapped range: a batched
+          // entry for this (proc, page) committed between the remap and
+          // this store would have resolved against the pre-remap page
+          // table and re-opened the fresh PROT_NONE mapping. The entry
+          // re-asserts the page table's truth; in the common case the
+          // shadow already reads kInvalid and the commit elides it.
+          ctx.perm_batch().Add(p, page, Perm::kInvalid);
+        }
       }
     }
   }
+  CommitPermBatch(ctx);
 }
 
 }  // namespace cashmere

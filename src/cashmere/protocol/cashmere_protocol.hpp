@@ -207,6 +207,20 @@ class CashmereProtocol : public RequestHandler {
   }
   void ProtectLocal(Context& ctx, PageLocal& pl, UnitId unit, int local_index, PageId page,
                     Perm perm) CSM_REQUIRES(pl.lock);
+  // Flushes the processor's queued permission changes as coalesced
+  // mprotect ranges (no-op outside SIGSEGV fault mode, where nothing is
+  // ever queued). Every protocol episode that queued transitions must call
+  // this before user code could observe a stale-loose hardware mapping;
+  // see DESIGN.md §11 for the commit-point inventory.
+  void CommitPermBatch(Context& ctx);
+
+ public:
+  // PermBatch resolver: re-reads the protocol's current per-processor perm
+  // for (proc, page) at commit time, superseding the queued hint. `self`
+  // is the CashmereProtocol instance.
+  static Perm ResolveQueuedPerm(void* self, ProcId proc, PageId page, Perm queued);
+
+ private:
   bool IsWriteDouble() const {
     return cfg_.protocol == ProtocolVariant::kOneLevelWriteDouble;
   }

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <vector>
 
 #include "cashmere/common/config.hpp"
 #include "cashmere/common/stats.hpp"
@@ -16,6 +17,7 @@
 namespace cashmere {
 
 class DiffBuffer;
+class PermBatch;
 class Runtime;
 
 class Context {
@@ -86,6 +88,15 @@ class Context {
   // never allocate).
   DiffBuffer& diff_scratch() const { return *diff_scratch_; }
 
+  // Preallocated per-processor permission batch (vm/perm_batch.hpp): the
+  // protocol queues mprotect transitions here and commits coalesced ranges
+  // at episode boundaries. Same allocation-free discipline as diff_scratch.
+  PermBatch& perm_batch() const { return *perm_batch_; }
+
+  // Reusable release-time page list (capacity reserved up front, so
+  // ReleaseSync never allocates on the hot path).
+  std::vector<PageId>& release_scratch() const { return *release_scratch_; }
+
   // The current thread's context (bound by Runtime::Run). Null outside.
   static Context* Current();
   static void Bind(Context* ctx);
@@ -111,6 +122,8 @@ class Context {
   std::byte* view_base_ = nullptr;
   Runtime* runtime_ = nullptr;
   DiffBuffer* diff_scratch_ = nullptr;
+  PermBatch* perm_batch_ = nullptr;
+  std::vector<PageId>* release_scratch_ = nullptr;
   VirtualClock clock_;
   Stats stats_;
   std::atomic<std::uint64_t> debug_state_{0};

@@ -51,11 +51,9 @@ Runtime::Runtime(Config cfg, SyncShape sync)
       }
     }
     if (cfg_.fault_mode == FaultMode::kSoftware) {
-      // Software fault mode: accesses are checked explicitly, so the views
-      // are left fully open.
-      for (PageId page = 0; page < cfg_.pages(); ++page) {
-        views_.back()->Protect(page, Perm::kReadWrite);
-      }
+      // Software fault mode: accesses are checked explicitly, so the view
+      // is opened whole with a single ranged mprotect.
+      views_.back()->ProtectRange(0, cfg_.pages(), Perm::kReadWrite);
     }
   }
 
@@ -102,6 +100,15 @@ Runtime::Runtime(Config cfg, SyncShape sync)
     ctx.runtime_ = this;
     diff_scratch_.push_back(std::make_unique<DiffBuffer>());
     ctx.diff_scratch_ = diff_scratch_.back().get();
+    perm_batch_.push_back(std::make_unique<PermBatch>());
+    // &ctx.stats_ is stable: contexts_ is a deque and never shrinks.
+    perm_batch_.back()->Bind(&views_, &CashmereProtocol::ResolveQueuedPerm,
+                             protocol_.get(), &ctx.stats_);
+    ctx.perm_batch_ = perm_batch_.back().get();
+    release_scratch_.push_back(std::make_unique<std::vector<PageId>>());
+    // Dirty + NLE lists can each hold every page once.
+    release_scratch_.back()->reserve(2 * cfg_.pages());
+    ctx.release_scratch_ = release_scratch_.back().get();
   }
 }
 

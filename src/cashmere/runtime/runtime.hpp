@@ -36,6 +36,7 @@
 #include "cashmere/sync/cluster_lock.hpp"
 #include "cashmere/vm/arena.hpp"
 #include "cashmere/vm/fault_dispatcher.hpp"
+#include "cashmere/vm/perm_batch.hpp"
 #include "cashmere/vm/view.hpp"
 
 namespace cashmere {
@@ -122,6 +123,10 @@ class Runtime : public FaultSink {
   // Per-processor RLE diff scratch, preallocated so flush paths (including
   // the SIGSEGV fault handler) never allocate.
   std::vector<std::unique_ptr<DiffBuffer>> diff_scratch_;
+  // Per-processor permission batches and release page lists, preallocated
+  // under the same no-allocation discipline.
+  std::vector<std::unique_ptr<PermBatch>> perm_batch_;
+  std::vector<std::unique_ptr<std::vector<PageId>>> release_scratch_;
   std::deque<ClusterLock> locks_;
   std::deque<ClusterBarrier> barriers_;
   std::deque<ClusterFlag> flags_;

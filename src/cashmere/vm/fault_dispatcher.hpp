@@ -2,6 +2,13 @@
 // to the coherence protocol of the runtime that owns the view; anything else
 // falls through to the default disposition (a genuine crash).
 //
+// Everything reachable from HandleFault must stay signal-safe: no
+// allocation, no blocking syscalls beyond the protocol's own mprotect/mmap.
+// That contract covers the permission-batch commits the fault path issues
+// before returning (vm/perm_batch.hpp queues and commits entirely within
+// preallocated storage), and csm_lint's fault-path rule scans this layer
+// for known-blocking calls.
+//
 // Signal handlers are process-global, so the dispatcher is a singleton that
 // multiple Runtime instances register with (tests create runtimes
 // back-to-back; only one is typically live at a time, but registration is

@@ -1,0 +1,107 @@
+#include "cashmere/vm/perm_batch.hpp"
+
+#include <algorithm>
+
+#include "cashmere/common/logging.hpp"
+#include "cashmere/common/stats.hpp"
+#include "cashmere/common/thread_safety.hpp"
+#include "cashmere/common/trace.hpp"
+#include "cashmere/vm/view.hpp"
+
+namespace cashmere {
+
+void PermBatch::Add(ProcId proc, PageId page, Perm perm) {
+  if (size_ == kCapacity) {
+    Commit();
+  }
+  entries_[size_] = Entry{page, static_cast<std::int32_t>(proc),
+                          static_cast<std::uint16_t>(size_),
+                          static_cast<std::uint8_t>(perm)};
+  ++size_;
+}
+
+PermBatch::CommitStats PermBatch::Commit() {
+  CommitStats cs;
+  if (size_ == 0) {
+    return cs;
+  }
+  cs.entries = size_;
+  // std::sort over the preallocated array: no allocation, signal-safe.
+  std::sort(entries_.begin(), entries_.begin() + static_cast<std::ptrdiff_t>(size_),
+            [](const Entry& a, const Entry& b) {
+              if (a.proc != b.proc) {
+                return a.proc < b.proc;
+              }
+              if (a.page != b.page) {
+                return a.page < b.page;
+              }
+              return a.seq < b.seq;
+            });
+  // Last-write-wins: keep only the newest entry per (proc, page). The
+  // survivors stay sorted, so coalescing below is a single forward scan.
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (i + 1 < size_ && entries_[i].proc == entries_[i + 1].proc &&
+        entries_[i].page == entries_[i + 1].page) {
+      continue;
+    }
+    entries_[n++] = entries_[i];
+  }
+
+  std::size_t i = 0;
+  while (i < n) {
+    const ProcId proc = entries_[i].proc;
+    CSM_CHECK(views_ != nullptr &&
+              static_cast<std::size_t>(proc) < views_->size());
+    View& view = *(*views_)[static_cast<std::size_t>(proc)];
+    SpinLockGuard guard(view.commit_lock());
+    PageId run_first = 0;
+    std::size_t run_count = 0;
+    Perm run_perm = Perm::kInvalid;
+    const auto flush_run = [&]() {
+      if (run_count == 0) {
+        return;
+      }
+      view.ProtectRangeLocked(run_first, run_count, run_perm);
+      if (TraceActive()) {
+        TraceEmit(EventKind::kProtectRange, run_first, 0,
+                  static_cast<std::uint32_t>(run_perm),
+                  (static_cast<std::uint64_t>(static_cast<std::uint32_t>(proc)) << 32) |
+                      static_cast<std::uint64_t>(run_count));
+      }
+      ++cs.syscalls;
+      cs.pages_applied += run_count;
+      run_count = 0;
+    };
+    for (; i < n && entries_[i].proc == proc; ++i) {
+      const PageId page = entries_[i].page;
+      Perm perm = static_cast<Perm>(entries_[i].perm);
+      if (resolver_ != nullptr) {
+        // Re-read the protocol's current truth: a transition that raced in
+        // after this entry was queued supersedes the queued hint.
+        perm = resolver_(resolver_ctx_, proc, page, perm);
+      }
+      if (view.PermOfLocked(page) == perm) {
+        ++cs.pages_elided;
+        continue;
+      }
+      if (run_count != 0 && page == run_first + run_count && perm == run_perm) {
+        ++run_count;
+        continue;
+      }
+      flush_run();
+      run_first = page;
+      run_count = 1;
+      run_perm = perm;
+    }
+    flush_run();
+  }
+  size_ = 0;
+  if (stats_ != nullptr) {
+    stats_->Add(Counter::kMprotectCalls, cs.syscalls);
+    stats_->Add(Counter::kMprotectPagesCoalesced, cs.pages_applied - cs.syscalls);
+  }
+  return cs;
+}
+
+}  // namespace cashmere

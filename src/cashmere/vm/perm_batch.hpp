@@ -1,0 +1,108 @@
+// Range-coalesced permission commits. A PermBatch is a per-processor
+// scratch that collects (proc, page, perm) transitions queued by the
+// protocol during one episode (a fault, an acquire drain, a release flush,
+// a shootdown) and commits them in bulk: sort, keep the last write per
+// (proc, page), re-resolve each against the protocol's page table, elide
+// entries the view's shadow table already satisfies, and merge adjacent
+// same-perm pages into maximal ranges so each range costs one mprotect.
+//
+// Why deferring is safe: the queued perm is only a hint. At commit time
+// every entry is re-resolved through the bound `Resolver` (the protocol's
+// current per-processor perm, read lock-free), so a commit serialized after
+// a later transition applies the later truth, and the view commit lock's
+// release/acquire ordering guarantees the last committer to touch a page
+// wins with the freshest value. The protocol keeps hardware no looser than
+// protocol state by committing before any point where a stale-loose mapping
+// could be observed (see DESIGN.md §11 for the commit-point inventory).
+//
+// Signal-safety: Add() is a bounded array store (plus, when full, an early
+// Commit — sort and mprotect over preallocated storage); nothing here
+// allocates after construction, so the fault path may queue and commit from
+// the SIGSEGV handler.
+#ifndef CASHMERE_VM_PERM_BATCH_HPP_
+#define CASHMERE_VM_PERM_BATCH_HPP_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cashmere/common/thread_safety.hpp"
+#include "cashmere/common/types.hpp"
+
+namespace cashmere {
+
+class Stats;
+class View;
+
+class PermBatch {
+ public:
+  // Maps a queued transition to the perm that should actually be applied
+  // for (proc, page) — the protocol's current page-table truth. May be
+  // null (tests), in which case the queued perm is applied as-is.
+  using Resolver = Perm (*)(void* ctx, ProcId proc, PageId page, Perm queued);
+
+  // Transitions one episode can queue before an early commit. An episode
+  // never legitimately exceeds this (the largest is a full-heap drain of
+  // 1024 default pages), but an early commit is always correct — it just
+  // lands closer to the seed's per-page syscall timing.
+  static constexpr std::size_t kCapacity = 2048;
+
+  struct CommitStats {
+    std::uint64_t entries = 0;        // queued entries consumed
+    std::uint64_t syscalls = 0;       // mprotect calls issued
+    std::uint64_t pages_applied = 0;  // pages whose hardware perm changed
+    std::uint64_t pages_elided = 0;   // entries the shadow table satisfied
+  };
+
+  PermBatch() = default;
+  PermBatch(const PermBatch&) = delete;
+  PermBatch& operator=(const PermBatch&) = delete;
+
+  // `views` indexes views by global processor id and must outlive the
+  // batch. `stats`, when set, receives kMprotectCalls /
+  // kMprotectPagesCoalesced at each commit; commits must then stay on the
+  // owning processor's thread (Stats is single-writer).
+  void Bind(const std::vector<std::unique_ptr<View>>* views, Resolver resolver,
+            void* resolver_ctx, Stats* stats) {
+    views_ = views;
+    resolver_ = resolver;
+    resolver_ctx_ = resolver_ctx;
+    stats_ = stats;
+  }
+
+  // Queues one transition; commits the batch first if it is full.
+  void Add(ProcId proc, PageId page, Perm perm);
+
+  bool Empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  // Applies every queued transition and empties the batch. Safe to call
+  // with a PageLocal lock held (takes only view commit locks, which are
+  // leaves in the lock order — see docs/concurrency.md). Analysis is
+  // suppressed: the commit walk scopes one view's commit lock over a
+  // dynamically chosen run of entries, a shape the static checker cannot
+  // follow; the discipline is pinned by the View annotations and by
+  // PermBatchStressTest under TSan.
+  CommitStats Commit() CSM_NO_THREAD_SAFETY_ANALYSIS;
+
+ private:
+  struct Entry {
+    PageId page;
+    std::int32_t proc;
+    std::uint16_t seq;  // queue order; last-write-wins tiebreak
+    std::uint8_t perm;
+  };
+
+  const std::vector<std::unique_ptr<View>>* views_ = nullptr;
+  Resolver resolver_ = nullptr;
+  void* resolver_ctx_ = nullptr;
+  Stats* stats_ = nullptr;
+  std::size_t size_ = 0;
+  std::array<Entry, kCapacity> entries_;
+};
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_VM_PERM_BATCH_HPP_

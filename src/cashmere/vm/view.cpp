@@ -44,13 +44,28 @@ View::~View() {
 }
 
 void View::Protect(PageId page, Perm perm) {
-  CSM_CHECK(page < perms_.size());
-  CSM_CHECK(mprotect(base_ + static_cast<std::size_t>(page) * kPageBytes, kPageBytes,
-                     PermToProt(perm)) == 0);
-  perms_[page] = perm;
+  SpinLockGuard guard(commit_lock_);
+  ProtectRangeLocked(page, 1, perm);
+}
+
+void View::ProtectRange(PageId first, std::size_t count, Perm perm) {
+  SpinLockGuard guard(commit_lock_);
+  ProtectRangeLocked(first, count, perm);
+}
+
+void View::ProtectRangeLocked(PageId first, std::size_t count, Perm perm) {
+  CSM_CHECK(count > 0 && first + count <= perms_.size());
+  CSM_CHECK(mprotect(base_ + static_cast<std::size_t>(first) * kPageBytes,
+                     count * kPageBytes, PermToProt(perm)) == 0);
+  for (PageId page = first; page < first + count; ++page) {
+    perms_[page] = perm;
+  }
 }
 
 void View::RemapSuperpage(std::size_t superpage, const Arena& arena) {
+  // Held across the remap so a concurrent batch commit can never mprotect a
+  // half-replaced mapping or observe a shadow entry for the old frames.
+  SpinLockGuard guard(commit_lock_);
   const std::size_t off = superpage * superpage_bytes_;
   CSM_CHECK(off < size_);
   const std::size_t len = std::min(superpage_bytes_, size_ - off);

@@ -4,6 +4,12 @@
 // superpages from another unit's arena (the master frames). Per-view
 // mprotect gives per-processor access permissions over shared frames — the
 // same mechanism Cashmere used via per-process page tables on Digital Unix.
+//
+// Permission changes are serialized per view by `commit_lock_`: the shadow
+// table `perms_` always mirrors the hardware page protections, and both are
+// only mutated with the lock held. PermBatch (vm/perm_batch.hpp) holds the
+// lock across a whole coalesced range commit; the single-page Protect path
+// takes it per call.
 #ifndef CASHMERE_VM_VIEW_HPP_
 #define CASHMERE_VM_VIEW_HPP_
 
@@ -12,6 +18,8 @@
 #include <vector>
 
 #include "cashmere/common/config.hpp"
+#include "cashmere/common/spin.hpp"
+#include "cashmere/common/thread_safety.hpp"
 #include "cashmere/common/types.hpp"
 
 namespace cashmere {
@@ -37,19 +45,47 @@ class View {
     return static_cast<PageId>((static_cast<const std::byte*>(addr) - base_) / kPageBytes);
   }
 
-  // Changes this view's protection for one page.
-  void Protect(PageId page, Perm perm);
-  Perm PermOf(PageId page) const { return perms_[page]; }
+  // Changes this view's protection for one page. Outside src/cashmere/vm/
+  // this must not be called directly — go through PermBatch so the
+  // shadow-table elision and range coalescing apply (csm_lint rule
+  // raw-view-protect).
+  void Protect(PageId page, Perm perm) CSM_EXCLUDES(commit_lock_);
+  // Changes the protection of `count` consecutive pages starting at
+  // `first` with a single mprotect call.
+  void ProtectRange(PageId first, std::size_t count, Perm perm)
+      CSM_EXCLUDES(commit_lock_);
+  // Shadow-table probe. Takes the commit lock internally so the value read
+  // is never torn mid-commit; callers that already hold the lock (batch
+  // commits) use PermOfLocked instead.
+  Perm PermOf(PageId page) const CSM_EXCLUDES(commit_lock_) {
+    SpinLockGuard guard(commit_lock_);
+    return perms_[page];
+  }
+
+  // The per-view permission commit serializer. Lock order: a holder of a
+  // PageLocal lock may take this; the reverse never happens (batch commits
+  // touch no protocol state).
+  SpinLock& commit_lock() const CSM_RETURN_CAPABILITY(commit_lock_) {
+    return commit_lock_;
+  }
+  Perm PermOfLocked(PageId page) const CSM_REQUIRES(commit_lock_) {
+    return perms_[page];
+  }
+  // One mprotect spanning [first, first + count); updates the shadow table.
+  void ProtectRangeLocked(PageId first, std::size_t count, Perm perm)
+      CSM_REQUIRES(commit_lock_);
 
   // Replaces one superpage's backing arena (home-node optimization after a
   // first-touch relocation). The new mapping starts with no access.
-  void RemapSuperpage(std::size_t superpage, const Arena& arena);
+  void RemapSuperpage(std::size_t superpage, const Arena& arena)
+      CSM_EXCLUDES(commit_lock_);
 
  private:
   std::size_t size_;
   std::size_t superpage_bytes_;
   std::byte* base_ = nullptr;
-  std::vector<Perm> perms_;
+  mutable SpinLock commit_lock_;
+  std::vector<Perm> perms_ CSM_GUARDED_BY(commit_lock_);
 };
 
 int PermToProt(Perm perm);

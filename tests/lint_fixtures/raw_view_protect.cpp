@@ -1,0 +1,40 @@
+// Known-bad fixture: direct View::Protect calls outside src/cashmere/vm/.
+// Permission changes must flow through the PermBatch engine so the
+// shadow-table elision and range coalescing always apply; a stray per-page
+// Protect loop silently reopens the one-syscall-per-page path the batch
+// engine exists to close. ProtectRange (the sanctioned bulk-setup call)
+// must NOT be flagged.
+//
+// csm-lint-domain: protocol
+// csm-lint-expect: raw-view-protect
+// csm-lint-expect: raw-view-protect
+#include <cstdint>
+
+namespace fixture {
+
+enum class Perm : std::uint8_t { kInvalid, kRead, kReadWrite };
+
+struct View {
+  void Protect(std::uint32_t page, Perm perm);
+  void ProtectRange(std::uint32_t first, std::size_t count, Perm perm);
+};
+
+void BadDowngradeLoop(View& view, std::uint32_t first, std::uint32_t last) {
+  for (std::uint32_t page = first; page < last; ++page) {
+    view.Protect(page, Perm::kRead);  // one syscall per page, no elision
+  }
+}
+
+void BadPointerCall(View* view, std::uint32_t page) {
+  view->Protect(page, Perm::kInvalid);
+}
+
+void OkBulkSetup(View& view, std::uint32_t pages) {
+  // The ranged call is the sanctioned bulk path and must not trip the rule.
+  view.ProtectRange(0, pages, Perm::kReadWrite);
+}
+
+// Mentions in comments (view.Protect(...)) and strings must not count:
+const char* kDoc = "call view.Protect( nowhere outside vm/ )";
+
+}  // namespace fixture

@@ -1,0 +1,233 @@
+// Unit tests for the range-coalesced permission batch (vm/perm_batch.hpp):
+// run merging, last-write-wins dedup, shadow-table elision, resolver
+// re-resolution, auto-commit on overflow, and (under TSan) concurrent
+// commits against one view from two threads.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cashmere/common/stats.hpp"
+#include "cashmere/vm/arena.hpp"
+#include "cashmere/vm/perm_batch.hpp"
+#include "cashmere/vm/view.hpp"
+
+namespace cashmere {
+namespace {
+
+constexpr std::size_t kTestPages = 16;
+
+Config BatchConfig() {
+  Config cfg;
+  cfg.nodes = 1;
+  cfg.procs_per_node = 1;
+  cfg.heap_bytes = kTestPages * kPageBytes;
+  cfg.superpage_pages = 4;
+  return cfg;
+}
+
+// One arena with `views` processor views over it, plus a batch bound to
+// them (no resolver, no stats unless a test binds its own).
+struct BatchRig {
+  explicit BatchRig(int view_count = 1) : cfg(BatchConfig()), arena(cfg.heap_bytes, "perm-batch") {
+    for (int i = 0; i < view_count; ++i) {
+      views.push_back(std::make_unique<View>(cfg, arena));
+    }
+    batch.Bind(&views, nullptr, nullptr, nullptr);
+  }
+
+  Config cfg;
+  Arena arena;
+  std::vector<std::unique_ptr<View>> views;
+  PermBatch batch;
+};
+
+TEST(PermBatchTest, CoalescesAdjacentPagesIntoOneSyscall) {
+  BatchRig rig;
+  for (PageId p = 2; p < 7; ++p) {
+    rig.batch.Add(0, p, Perm::kRead);
+  }
+  const PermBatch::CommitStats cs = rig.batch.Commit();
+  EXPECT_EQ(cs.entries, 5u);
+  EXPECT_EQ(cs.syscalls, 1u);
+  EXPECT_EQ(cs.pages_applied, 5u);
+  EXPECT_EQ(cs.pages_elided, 0u);
+  for (PageId p = 2; p < 7; ++p) {
+    EXPECT_EQ(rig.views[0]->PermOf(p), Perm::kRead);
+  }
+  EXPECT_EQ(rig.views[0]->PermOf(1), Perm::kInvalid);
+  EXPECT_EQ(rig.views[0]->PermOf(7), Perm::kInvalid);
+  EXPECT_TRUE(rig.batch.Empty());
+}
+
+TEST(PermBatchTest, AdjacentPagesWithDifferentPermsSplitRuns) {
+  BatchRig rig;
+  rig.batch.Add(0, 3, Perm::kRead);
+  rig.batch.Add(0, 4, Perm::kReadWrite);  // adjacent but different perm
+  const PermBatch::CommitStats cs = rig.batch.Commit();
+  EXPECT_EQ(cs.syscalls, 2u);
+  EXPECT_EQ(cs.pages_applied, 2u);
+  EXPECT_EQ(rig.views[0]->PermOf(3), Perm::kRead);
+  EXPECT_EQ(rig.views[0]->PermOf(4), Perm::kReadWrite);
+}
+
+TEST(PermBatchTest, NonContiguousRunsCostOneSyscallEach) {
+  BatchRig rig;
+  // Queued out of order on purpose: commit sorts before coalescing.
+  rig.batch.Add(0, 9, Perm::kRead);
+  rig.batch.Add(0, 1, Perm::kRead);
+  rig.batch.Add(0, 8, Perm::kRead);
+  rig.batch.Add(0, 0, Perm::kRead);
+  rig.batch.Add(0, 5, Perm::kRead);
+  const PermBatch::CommitStats cs = rig.batch.Commit();
+  EXPECT_EQ(cs.syscalls, 3u);  // {0,1}, {5}, {8,9}
+  EXPECT_EQ(cs.pages_applied, 5u);
+}
+
+TEST(PermBatchTest, DuplicatePageLastWriteWins) {
+  BatchRig rig;
+  rig.batch.Add(0, 6, Perm::kReadWrite);
+  rig.batch.Add(0, 6, Perm::kInvalid);
+  rig.batch.Add(0, 6, Perm::kRead);  // last queued transition wins
+  const PermBatch::CommitStats cs = rig.batch.Commit();
+  EXPECT_EQ(cs.entries, 3u);
+  EXPECT_EQ(cs.syscalls, 1u);
+  EXPECT_EQ(cs.pages_applied, 1u);
+  EXPECT_EQ(rig.views[0]->PermOf(6), Perm::kRead);
+}
+
+TEST(PermBatchTest, ShadowTableElidesNoopTransitions) {
+  BatchRig rig;
+  rig.views[0]->ProtectRange(0, 4, Perm::kRead);
+  for (PageId p = 0; p < 4; ++p) {
+    rig.batch.Add(0, p, Perm::kRead);  // hardware already agrees
+  }
+  const PermBatch::CommitStats cs = rig.batch.Commit();
+  EXPECT_EQ(cs.syscalls, 0u);
+  EXPECT_EQ(cs.pages_applied, 0u);
+  EXPECT_EQ(cs.pages_elided, 4u);
+}
+
+TEST(PermBatchTest, ElisionSplitsButDoesNotDuplicateRuns) {
+  BatchRig rig;
+  rig.views[0]->Protect(2, Perm::kRead);  // hole in the middle of the run
+  for (PageId p = 0; p < 5; ++p) {
+    rig.batch.Add(0, p, Perm::kRead);
+  }
+  const PermBatch::CommitStats cs = rig.batch.Commit();
+  EXPECT_EQ(cs.syscalls, 2u);  // {0,1} and {3,4}; page 2 elided
+  EXPECT_EQ(cs.pages_applied, 4u);
+  EXPECT_EQ(cs.pages_elided, 1u);
+}
+
+TEST(PermBatchTest, RunMayEndExactlyAtArenaEnd) {
+  BatchRig rig;
+  rig.batch.Add(0, kTestPages - 2, Perm::kReadWrite);
+  rig.batch.Add(0, kTestPages - 1, Perm::kReadWrite);
+  const PermBatch::CommitStats cs = rig.batch.Commit();
+  EXPECT_EQ(cs.syscalls, 1u);
+  EXPECT_EQ(rig.views[0]->PermOf(kTestPages - 1), Perm::kReadWrite);
+}
+
+TEST(PermBatchTest, EntriesForDifferentProcsCommitToTheirOwnViews) {
+  BatchRig rig(/*view_count=*/2);
+  for (PageId p = 0; p < 3; ++p) {
+    rig.batch.Add(0, p, Perm::kRead);
+    rig.batch.Add(1, p, Perm::kReadWrite);
+  }
+  const PermBatch::CommitStats cs = rig.batch.Commit();
+  EXPECT_EQ(cs.syscalls, 2u);  // one run per view
+  EXPECT_EQ(cs.pages_applied, 6u);
+  for (PageId p = 0; p < 3; ++p) {
+    EXPECT_EQ(rig.views[0]->PermOf(p), Perm::kRead);
+    EXPECT_EQ(rig.views[1]->PermOf(p), Perm::kReadWrite);
+  }
+}
+
+TEST(PermBatchTest, ResolverOverridesQueuedPerm) {
+  BatchRig rig;
+  const auto resolver = +[](void*, ProcId, PageId, Perm) { return Perm::kRead; };
+  rig.batch.Bind(&rig.views, resolver, nullptr, nullptr);
+  rig.batch.Add(0, 4, Perm::kReadWrite);  // stale hint; resolver says kRead
+  rig.batch.Commit();
+  EXPECT_EQ(rig.views[0]->PermOf(4), Perm::kRead);
+}
+
+TEST(PermBatchTest, CommitRecordsStatsCounters) {
+  BatchRig rig;
+  Stats stats;
+  rig.batch.Bind(&rig.views, nullptr, nullptr, &stats);
+  for (PageId p = 0; p < 8; ++p) {
+    rig.batch.Add(0, p, Perm::kRead);
+  }
+  rig.batch.Add(0, 12, Perm::kRead);
+  rig.batch.Commit();
+  EXPECT_EQ(stats.Get(Counter::kMprotectCalls), 2u);
+  // 9 pages changed hardware state with 2 syscalls: 7 saved.
+  EXPECT_EQ(stats.Get(Counter::kMprotectPagesCoalesced), 7u);
+}
+
+TEST(PermBatchTest, OverflowCommitsEagerlyAndKeepsQueueing) {
+  BatchRig rig;
+  // Alternate perms on one page so dedup cannot hide the overflow commit.
+  for (std::size_t i = 0; i < PermBatch::kCapacity; ++i) {
+    rig.batch.Add(0, 3, (i % 2 == 0) ? Perm::kRead : Perm::kReadWrite);
+  }
+  EXPECT_EQ(rig.batch.size(), PermBatch::kCapacity);
+  rig.batch.Add(0, 5, Perm::kRead);  // forces the early commit
+  EXPECT_EQ(rig.batch.size(), 1u);
+  // The overflowed batch's last write landed (kCapacity is even, so the
+  // final queued perm for page 3 was kReadWrite).
+  EXPECT_EQ(rig.views[0]->PermOf(3), Perm::kReadWrite);
+  EXPECT_EQ(rig.views[0]->PermOf(5), Perm::kInvalid);  // still queued
+  rig.batch.Commit();
+  EXPECT_EQ(rig.views[0]->PermOf(5), Perm::kRead);
+}
+
+// Two threads commit against the same view concurrently: one batches
+// multi-page runs (an acquire-drain shape), the other commits single pages
+// (a fault-upgrade shape). Both resolve through a fixed truth table, so
+// whatever interleaving TSan drives, the last committer per page applies
+// the same truth and the shadow must match it exactly after the join.
+TEST(PermBatchStressTest, ConcurrentRangeAndSingleCommitsConverge) {
+  BatchRig rig;
+  std::array<Perm, kTestPages> truth{};
+  for (std::size_t p = 0; p < kTestPages; ++p) {
+    truth[p] = static_cast<Perm>(p % 3);
+  }
+  const auto resolver = +[](void* ctx, ProcId, PageId page, Perm) {
+    return (*static_cast<std::array<Perm, kTestPages>*>(ctx))[page];
+  };
+
+  constexpr int kRounds = 4000;
+  std::thread drainer([&] {
+    PermBatch batch;
+    batch.Bind(&rig.views, resolver, &truth, nullptr);
+    for (int r = 0; r < kRounds; ++r) {
+      for (PageId p = 0; p < kTestPages; ++p) {
+        batch.Add(0, p, Perm::kInvalid);  // hint ignored by the resolver
+      }
+      batch.Commit();
+    }
+  });
+  std::thread upgrader([&] {
+    PermBatch batch;
+    batch.Bind(&rig.views, resolver, &truth, nullptr);
+    for (int r = 0; r < kRounds; ++r) {
+      batch.Add(0, static_cast<PageId>(r % kTestPages), Perm::kReadWrite);
+      batch.Commit();
+    }
+  });
+  drainer.join();
+  upgrader.join();
+
+  for (PageId p = 0; p < kTestPages; ++p) {
+    EXPECT_EQ(rig.views[0]->PermOf(p), truth[p]) << "page " << p;
+  }
+}
+
+}  // namespace
+}  // namespace cashmere

@@ -56,6 +56,11 @@ TEST(TraceBreakdownTest, EventCountsMatchStatsCounters) {
   // events.
   EXPECT_EQ(b.data_bytes, total.Get(Counter::kDataBytes));
   EXPECT_GE(b.total_bytes, b.data_bytes);
+  // Each kProtectRange event is one real mprotect syscall; the batch engine
+  // counts both at commit time, so the trace-derived totals must agree with
+  // the Figure-6 counters exactly.
+  EXPECT_EQ(b.mprotect_calls, total.Get(Counter::kMprotectCalls));
+  EXPECT_EQ(b.mprotect_pages_coalesced, total.Get(Counter::kMprotectPagesCoalesced));
   // The stream itself must also satisfy the replay invariants.
   const TraceCheckResult check = CheckTrace(merged, r.cfg, r.trace->TotalDropped());
   EXPECT_TRUE(check.ok) << check.ToString();

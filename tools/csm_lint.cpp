@@ -24,6 +24,13 @@
 //                        heap allocation in SIGSEGV fault-path files
 //                        (fault_dispatcher.*). SpinLock is the only
 //                        sanctioned wait primitive there.
+//   raw-view-protect     `.Protect(` / `->Protect(` member calls outside
+//                        src/cashmere/vm/. Permission changes must go
+//                        through the PermBatch engine (or a ranged
+//                        ProtectRange for bulk setup) so the shadow-table
+//                        elision and range coalescing always apply; a
+//                        stray per-page View::Protect silently reopens the
+//                        one-syscall-per-page path.
 //
 // Waivers: a finding is suppressed by a same-line or immediately-preceding
 //   // csm-lint: allow(<rule>) -- <justification>
@@ -67,6 +74,7 @@ struct FileInfo {
   bool copy_domain = false;           // protocol/, mc/, msg/, vm/
   bool fault_path = false;            // fault_dispatcher.*
   bool word_access = false;           // the sanctioned atomics site
+  bool vm_dir = false;                // vm/ — View::Protect's home layer
   std::vector<std::string> expects;   // fixture expectations
 };
 
@@ -268,6 +276,14 @@ void LintFile(const FileInfo& f, const std::string& display_path,
     if (ContainsToken(s, "atomic_ref")) {
       report(i, "atomic-bypass");
     }
+    // Plain substring match, not ContainsToken: the needle's leading '.'
+    // or '->' is itself the left boundary (the char before it is the
+    // object identifier), and '(' bounds the right — `.ProtectRange(`
+    // never matches.
+    if (!f.vm_dir && (s.find(".Protect(") != std::string::npos ||
+                      s.find("->Protect(") != std::string::npos)) {
+      report(i, "raw-view-protect");
+    }
     if (f.copy_domain) {
       for (const char* tok : kRawCopyTokens) {
         if (ContainsToken(s, tok)) {
@@ -308,6 +324,7 @@ bool LoadFile(const fs::path& path, FileInfo* out) {
                      generic.find("/vm/") != std::string::npos;
   out->fault_path = name.rfind("fault_dispatcher", 0) == 0;
   out->word_access = name == "word_access.hpp";
+  out->vm_dir = generic.find("/vm/") != std::string::npos;
   // Fixture directives override path classification.
   for (const std::string& raw : out->raw) {
     std::size_t at = raw.find("csm-lint-domain:");
@@ -317,6 +334,7 @@ bool LoadFile(const fs::path& path, FileInfo* out) {
       out->copy_domain = domain == "protocol" || domain == "mc" || domain == "msg" ||
                          domain == "vm";
       out->fault_path = domain == "fault-path";
+      out->vm_dir = domain == "vm";
     }
     at = raw.find("csm-lint-expect:");
     if (at != std::string::npos) {
