@@ -50,6 +50,7 @@ constexpr VariantFlag kVariantFlags[] = {
     {" run-hdrs", [](const Config& c) { return c.diff.charge_run_headers; }},
     {" trace", [](const Config& c) { return c.trace.enabled; }},
     {" no-perm-batch", [](const Config& c) { return !c.vm.batch_mprotect; }},
+    {" async-release", [](const Config& c) { return c.async.release; }},
 };
 
 }  // namespace

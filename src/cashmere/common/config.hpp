@@ -84,6 +84,20 @@ struct VmTuning {
   bool batch_mprotect = true;
 };
 
+// Asynchronous release-path coherence (protocol/coherence_log.hpp,
+// DESIGN.md §12). Named `async` rather than the issue's `protocol.*`
+// spelling because Config::protocol is the variant enum.
+struct AsyncTuning {
+  // Publish release-path diff replay and write-notice posting into the
+  // per-unit CoherenceLog, drained by a background cache-agent thread, and
+  // gate acquires on the happens-before sequence vector instead of waiting
+  // for all in-flight traffic. Off = the historical synchronous release.
+  bool release = false;
+  // CoherenceLog ring capacity (records per unit). A full ring back-
+  // pressures the publisher, which spins until the agent catches up.
+  std::uint32_t log_entries = 64;
+};
+
 // Cost-model scaling knobs.
 struct CostTuning {
   // Multiplier applied to every modeled protocol cost (Runtime applies it
@@ -118,6 +132,7 @@ struct Config {
   DiffTuning diff;
   TraceOptions trace;
   VmTuning vm;
+  AsyncTuning async;
   CostTuning cost;
 
   CostModel costs;

@@ -48,6 +48,7 @@ CostModel CostModel::ScaledBy(double f) const {
   scaled.mc_ns_per_byte *= f;
   scaled.poll_ns *= f;
   scaled.request_handle_us *= f;
+  scaled.log_publish_us *= f;
   scaled.write_double_word_us *= f;
   scaled.write_double_word_home_us *= f;
   return scaled;

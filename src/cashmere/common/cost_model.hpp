@@ -93,6 +93,14 @@ struct CostModel {
   // bin traversal after a successful poll).
   double request_handle_us = 10.0;
 
+  // Async release-path coherence (DESIGN.md §12): publishing one log
+  // record — copying the serialized diff image into the node-local
+  // CoherenceLog ring and bumping the sequence — replaces the synchronous
+  // diff replay on the releaser's critical path. Local memory traffic, not
+  // MC: sized between the bookkeeping-only floor and the 8 KB local copy
+  // ceiling (the twin cost bounds a full-page copy at 199 us).
+  double log_publish_us = 30.0;
+
   // Write doubling (Cashmere-1L): per-32-bit-word cost of the doubled
   // write. Remote stores go to uncached I/O space through the write buffer;
   // home-node stores additionally pollute the cache.

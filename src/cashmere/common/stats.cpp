@@ -64,6 +64,16 @@ const char* CounterName(Counter c) {
       return "Mprotect Calls";
     case Counter::kMprotectPagesCoalesced:
       return "Mprotect Pages Coalesced";
+    case Counter::kCohLogPublishes:
+      return "Coh. Log Publishes";
+    case Counter::kCohLogApplies:
+      return "Coh. Log Applies";
+    case Counter::kCohLogPublishStalls:
+      return "Coh. Log Publish Stalls";
+    case Counter::kCohGateWaits:
+      return "Coh. Gate Waits";
+    case Counter::kReleasePathNs:
+      return "Release Path (ns)";
     case Counter::kNumCounters:
       break;
   }

@@ -53,6 +53,12 @@ enum class Counter : int {
   kMprotectCalls,        // mprotect syscalls issued by PermBatch commits
   kMprotectPagesCoalesced,  // pages whose syscall was merged into a range
                             // (applied pages minus calls)
+  // Asynchronous release-path coherence (protocol/coherence_log.hpp).
+  kCohLogPublishes,      // records published into the per-unit logs
+  kCohLogApplies,        // records applied by the cache agents
+  kCohLogPublishStalls,  // publishes that waited on a full ring
+  kCohGateWaits,         // acquires that waited on an applied_seq gate
+  kReleasePathNs,        // virtual ns spent inside ReleaseSync (critical path)
   kNumCounters,
 };
 inline constexpr int kNumCounters = static_cast<int>(Counter::kNumCounters);

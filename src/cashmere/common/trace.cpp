@@ -64,6 +64,12 @@ const char* EventKindName(EventKind kind) {
       return "home-relocate";
     case EventKind::kProtectRange:
       return "protect-range";
+    case EventKind::kCohPublish:
+      return "coh-publish";
+    case EventKind::kCohApply:
+      return "coh-apply";
+    case EventKind::kCohGate:
+      return "coh-gate";
     case EventKind::kNumKinds:
       break;
   }
@@ -231,16 +237,37 @@ void WriteChromeTrace(const std::vector<TraceEvent>& merged, const Config& cfg,
                  "\"args\":{\"name\":\"p%d\"}}",
                  cfg.NodeOfProc(p), p, p);
   }
+  // Async mode: the per-unit cache agents emit with proc ids past the
+  // processor range (total_procs + unit); give each its own named track on
+  // its unit's node.
+  const int rows = cfg.total_procs() + (cfg.async.release ? cfg.units() : 0);
+  const auto pid_of = [&cfg](int proc) {
+    if (proc < cfg.total_procs()) {
+      return cfg.NodeOfProc(static_cast<ProcId>(proc));
+    }
+    const UnitId u = proc - cfg.total_procs();
+    return cfg.NodeOfProc(cfg.FirstProcOfUnit(u));
+  };
+  for (int u = 0; u < cfg.units() && cfg.async.release; ++u) {
+    BeginRecord(out, &first);
+    std::fprintf(out,
+                 "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\","
+                 "\"args\":{\"name\":\"agent u%d\"}}",
+                 pid_of(cfg.total_procs() + u), cfg.total_procs() + u, u);
+  }
 
   // Duration nesting per track: faults and barrier episodes become B/E
   // pairs. Tolerate imbalance (wrapped rings) by demoting an unmatched end
   // to an instant and closing leftovers at the final timestamp.
-  std::vector<int> open_depth(static_cast<std::size_t>(cfg.total_procs()), 0);
+  std::vector<int> open_depth(static_cast<std::size_t>(rows), 0);
   double last_ts_us = 0.0;
 
   for (const TraceEvent& e : merged) {
     const auto kind = static_cast<EventKind>(e.kind);
-    const int pid = cfg.NodeOfProc(static_cast<ProcId>(e.proc));
+    if (static_cast<int>(e.proc) >= rows) {
+      continue;  // malformed row; the invariant checker reports it
+    }
+    const int pid = pid_of(e.proc);
     const int tid = e.proc;
     const double ts_us = static_cast<double>(e.vt) / 1000.0;
     last_ts_us = ts_us > last_ts_us ? ts_us : last_ts_us;
@@ -311,11 +338,11 @@ void WriteChromeTrace(const std::vector<TraceEvent>& merged, const Config& cfg,
       }
     }
   }
-  for (ProcId p = 0; p < cfg.total_procs(); ++p) {
+  for (int p = 0; p < rows; ++p) {
     while (open_depth[static_cast<std::size_t>(p)]-- > 0) {
       BeginRecord(out, &first);
       std::fprintf(out, "{\"ph\":\"E\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f}",
-                   cfg.NodeOfProc(p), p, last_ts_us);
+                   pid_of(p), p, last_ts_us);
     }
   }
   std::fprintf(out, "\n]}\n");

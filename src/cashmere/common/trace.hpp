@@ -72,6 +72,13 @@ enum class EventKind : std::uint8_t {
                        // commit: page = first page, a0 = new Perm,
                        // a1 = (proc whose mapping changed) << 32 | page
                        // count; seq = 0 (not a locked page transition)
+  kCohPublish,         // async release published a log record: a0 = the
+                       // publishing unit, a1 = assigned log sequence;
+                       // seq = 0 (the apply is the page transition)
+  kCohApply,           // cache agent applied a log record: a0 = the
+                       // agent's unit, a1 = log sequence; seq = 0
+  kCohGate,            // acquire gated on a unit's applied_seq: a0 = the
+                       // unit waited on, a1 = sequence waited for; seq = 0
   kNumKinds,
 };
 inline constexpr int kNumEventKinds = static_cast<int>(EventKind::kNumKinds);

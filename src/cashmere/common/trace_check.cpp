@@ -53,9 +53,24 @@ TraceCheckResult CheckTrace(const std::vector<TraceEvent>& merged, const Config&
   const bool complete = ck.result.complete;
 
   const int procs = cfg.total_procs();
-  std::vector<VirtTime> last_vt(static_cast<std::size_t>(procs), 0);
-  std::vector<int> fault_depth(static_cast<std::size_t>(procs), 0);
-  std::vector<int> barrier_depth(static_cast<std::size_t>(procs), 0);
+  // Async release mode adds one trace row per cache agent after the
+  // processor rows; agent events are legal, not malformed.
+  const int rows = procs + (cfg.async.release ? cfg.units() : 0);
+  std::vector<VirtTime> last_vt(static_cast<std::size_t>(rows), 0);
+  std::vector<int> fault_depth(static_cast<std::size_t>(rows), 0);
+  std::vector<int> barrier_depth(static_cast<std::size_t>(rows), 0);
+  // Coherence-log pipeline state (invariant 5): per-unit published and
+  // applied sequence lists, and gate waits to validate at end of stream.
+  std::vector<std::vector<std::uint64_t>> coh_published(
+      static_cast<std::size_t>(cfg.units()));
+  std::vector<std::uint64_t> coh_last_applied(static_cast<std::size_t>(cfg.units()), 0);
+  std::vector<std::uint64_t> coh_applies(static_cast<std::size_t>(cfg.units()), 0);
+  struct GateWait {
+    std::size_t index;
+    std::uint32_t unit;
+    std::uint64_t want;
+  };
+  std::vector<GateWait> coh_gates;
 
   // Per (unit, page) transition streams, ordered by the page sequence
   // number stamped under the page lock.
@@ -69,7 +84,7 @@ TraceCheckResult CheckTrace(const std::vector<TraceEvent>& merged, const Config&
   for (std::size_t i = 0; i < merged.size(); ++i) {
     const TraceEvent& e = merged[i];
     const auto kind = static_cast<EventKind>(e.kind);
-    if (static_cast<int>(e.proc) >= procs || static_cast<int>(e.kind) >= kNumEventKinds) {
+    if (static_cast<int>(e.proc) >= rows || static_cast<int>(e.kind) >= kNumEventKinds) {
       ck.Issuef(i, "malformed event: proc=%u kind=%u", e.proc, e.kind);
       continue;
     }
@@ -123,12 +138,49 @@ TraceCheckResult CheckTrace(const std::vector<TraceEvent>& merged, const Config&
         flows[e.a1] |= bit;
         break;
       }
+      case EventKind::kCohPublish:
+        if (static_cast<int>(e.a0) >= cfg.units()) {
+          ck.Issuef(i, "coh publish for out-of-range unit %u", e.a0);
+        } else {
+          coh_published[e.a0].push_back(e.a1);
+        }
+        break;
+      case EventKind::kCohApply:
+        if (static_cast<int>(e.a0) >= cfg.units()) {
+          ck.Issuef(i, "coh apply for out-of-range unit %u", e.a0);
+        } else {
+          // A unit's applies all come from its single agent row, whose
+          // append order the merge preserves: sequences must be exactly
+          // 1, 2, 3, ... (wrapped streams lose the prefix, so only the
+          // increasing part is checked there).
+          std::uint64_t& last = coh_last_applied[e.a0];
+          if (e.a1 != last + 1 && (complete || e.a1 <= last)) {
+            ck.Issuef(i, "unit %u coh apply seq not contiguous: %" PRIu64 " -> %" PRIu64,
+                      e.a0, last, e.a1);
+          }
+          last = e.a1;
+          ++coh_applies[e.a0];
+        }
+        break;
+      case EventKind::kCohGate:
+        if (static_cast<int>(e.a0) >= cfg.units()) {
+          ck.Issuef(i, "coh gate on out-of-range unit %u", e.a0);
+        } else {
+          // Validated at end of stream: the publish may sort after the
+          // gate (publisher and gater clocks are only partially ordered).
+          coh_gates.push_back({i, e.a0, e.a1});
+        }
+        break;
       default:
         break;
     }
 
     if (e.seq != 0 && e.page != kNoTracePage) {
-      const auto unit = static_cast<std::uint64_t>(cfg.UnitOfProc(e.proc));
+      // Agent rows (proc >= procs, async mode) never stamp page sequence
+      // numbers; processor rows key by their unit as before.
+      const auto unit = static_cast<std::uint64_t>(
+          static_cast<int>(e.proc) < procs ? cfg.UnitOfProc(e.proc)
+                                           : static_cast<int>(e.proc) - procs);
       const std::uint64_t key = (unit << 32) | e.page;
       per_page[key].push_back({e.seq, kind, e.a0, e.a1, e.proc, i});
       std::uint32_t& last = last_seq_by_proc[(static_cast<std::uint64_t>(e.proc) << 56) |
@@ -141,12 +193,50 @@ TraceCheckResult CheckTrace(const std::vector<TraceEvent>& merged, const Config&
     }
   }
 
-  for (ProcId p = 0; p < procs; ++p) {
+  for (ProcId p = 0; p < rows; ++p) {
     if (fault_depth[static_cast<std::size_t>(p)] != 0) {
       ck.Issuef(merged.size(), "p%d fault still open at end of stream", p);
     }
     if (barrier_depth[static_cast<std::size_t>(p)] != 0) {
       ck.Issuef(merged.size(), "p%d barrier episode still open at end of stream", p);
+    }
+  }
+
+  // Invariant 5: coherence-log pipeline (async release mode). Publishes are
+  // collected from all processor rows of a unit, so they are only
+  // per-publisher ordered in the merged stream — sort before checking.
+  for (int u = 0; u < cfg.units(); ++u) {
+    std::vector<std::uint64_t>& pub = coh_published[static_cast<std::size_t>(u)];
+    std::sort(pub.begin(), pub.end());
+    for (std::size_t i = 0; i + 1 < pub.size(); ++i) {
+      if (pub[i] == pub[i + 1]) {
+        ck.Issuef(merged.size(), "unit %d coh publish seq %" PRIu64 " duplicated", u,
+                  pub[i]);
+      }
+    }
+    if (complete && !pub.empty()) {
+      if (pub.front() != 1 || pub.back() != pub.size()) {
+        ck.Issuef(merged.size(),
+                  "unit %d coh publish seqs not contiguous 1..%zu (saw %" PRIu64
+                  "..%" PRIu64 ")",
+                  u, pub.size(), pub.front(), pub.back());
+      }
+      // Drain-before-exit: every published record must have been applied.
+      if (coh_applies[static_cast<std::size_t>(u)] != pub.size()) {
+        ck.Issuef(merged.size(),
+                  "unit %d published %zu coh records but applied %" PRIu64, u,
+                  pub.size(), coh_applies[static_cast<std::size_t>(u)]);
+      }
+    }
+  }
+  if (complete) {
+    for (const GateWait& g : coh_gates) {
+      const std::vector<std::uint64_t>& pub = coh_published[g.unit];
+      if (pub.empty() || pub.back() < g.want) {
+        ck.Issuef(g.index,
+                  "coh gate waited on unit %u seq %" PRIu64 " which was never published",
+                  g.unit, g.want);
+      }
     }
   }
   if (complete) {
@@ -285,7 +375,18 @@ TraceBreakdown DeriveBreakdown(const std::vector<TraceEvent>& merged, int procs,
   std::uint64_t barrier_arrives = 0;
   for (const TraceEvent& e : merged) {
     if (e.proc >= procs) {
-      continue;  // malformed; CheckTrace reports it
+      // Cache-agent rows (async mode) carry no episode events, but their
+      // MC writes are real traffic and must land in the byte sums.
+      if (static_cast<EventKind>(e.kind) == EventKind::kMcWrite) {
+        b.total_bytes += e.a1;
+        for (const int cls : data_traffic_classes) {
+          if (e.a0 == static_cast<std::uint32_t>(cls)) {
+            b.data_bytes += e.a1;
+            break;
+          }
+        }
+      }
+      continue;
     }
     const std::size_t p = e.proc;
     switch (static_cast<EventKind>(e.kind)) {

@@ -15,6 +15,22 @@
 //      matching break on the same (unit, page).
 //   4. Directory monotonicity — the unit logical clock stamped on
 //      directory-word updates never regresses per (unit, page).
+//   5. Coherence-log pipeline (async release mode) — per unit, published
+//      log sequences form a contiguous 1..N with no duplicates, applies
+//      are a prefix of the publishes in order, every publish is applied by
+//      the end of the stream (FinalFlush drains the logs), and no acquire
+//      gates on a sequence that was never published.
+//
+// Relaxed ordering under async release: write notices become visible when
+// the unit's cache agent applies the log record, not when the releasing
+// processor returns — i.e. WN-visible-before-acquire-gate replaces
+// WN-before-release-return. Invariant 2 is unchanged by this: the agent
+// posts a record's notices before advancing applied_seq, and an acquirer
+// passes its gate (kCohGate) before draining notices, so a diff is still
+// merged only after the corresponding notice was drained into the unit.
+// Event rows: in async mode the merged stream additionally carries the
+// cache agents' rows at proc ids [total_procs, total_procs + units); agent
+// events are not page transitions (seq == 0 throughout).
 //
 // Cross-processor ordering: per-processor virtual clocks are only
 // partially ordered (they reconcile at synchronization), so per-page

@@ -1,6 +1,7 @@
 #include "cashmere/protocol/cashmere_protocol.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "cashmere/common/logging.hpp"
@@ -114,10 +115,14 @@ Perm CashmereProtocol::ResolveQueuedPerm(void* self, ProcId proc, PageId page,
 void CashmereProtocol::UpdateDirWord(Context& ctx, PageId page, DirWord word) {
   if (IsGlobalLock()) {
     SpinLockGuard guard(deps_.dir->EntryLock(page));
+    // csm-lint: allow(raw-dir-write) -- UpdateDirWord IS the sanctioned
+    // directory-write funnel; every fault/acquire-path caller routes here.
     deps_.dir->Write(page, ctx.unit(), word);
     ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
                        CostModel::UsToNs(cfg_.costs.dir_update_locked_us));
   } else {
+    // csm-lint: allow(raw-dir-write) -- UpdateDirWord IS the sanctioned
+    // directory-write funnel; every fault/acquire-path caller routes here.
     deps_.dir->Write(page, ctx.unit(), word);
     ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
                        CostModel::UsToNs(cfg_.costs.dir_update_us));
@@ -146,9 +151,14 @@ void CashmereProtocol::RefreshLoosestPerm(Context& ctx, PageLocal& pl, PageId pa
   // overwrite our pending flush with a stale full-page copy), and while a
   // fetch is in flight (a concurrent releaser must count us as a sharer so
   // we receive its write notice — the paper updates the directory entry
-  // *first* in the fault handler for exactly this reason).
+  // *first* in the fault handler for exactly this reason). Published-but-
+  // unapplied log records (async mode) are pending flushes in the same
+  // sense: the modifications have left the dirty lists but are not in the
+  // master copy yet, so exclusive claims must stay blocked until the
+  // cache agent applies them.
   if (loosest == Perm::kInvalid &&
       (pl.dirty_mask != 0 || pl.twin_valid ||
+       pl.pending_flush.load(std::memory_order_acquire) != 0 ||
        pl.fetch_in_progress.load(std::memory_order_acquire))) {
     loosest = Perm::kRead;
   }
@@ -410,6 +420,24 @@ void CashmereProtocol::FetchPage(Context& ctx, PageLocal& pl, PageId page) {
   // concurrent local faults coalesce onto this fetch.
   const UnitId home = deps_.homes->HomeOfPage(page);
 
+  // Async mode: this unit may have published diffs for the page that its
+  // cache agent has not applied to the master copy yet. Reading the master
+  // before our own writes land would lose them — same-unit visibility is
+  // program order, not covered by the write-notice/gate machinery — so
+  // wait for the agent first. Safe to spin here: the agent takes no page
+  // locks and this path holds none.
+  if (deps_.coh != nullptr) {
+    Backoff pending;
+    while (pl.pending_flush.load(std::memory_order_acquire) != 0) {
+      if (deps_.msg->HasPending(ctx.unit())) {
+        deps_.msg->Poll(ctx.unit());
+        pending.Reset();
+      } else {
+        pending.Pause();
+      }
+    }
+  }
+
   // 2LS: before fetching, shoot down concurrent local writers and flush,
   // so the incoming image can simply overwrite the frame (Section 2.6).
   if (IsShootdown()) {
@@ -601,7 +629,8 @@ const DirtyBlockMap& CashmereProtocol::MergedTwinMapForTesting(UnitId unit, Page
 CashmereProtocol::FlushResult CashmereProtocol::FlushOutgoingDiffRuns(Context& ctx,
                                                                      PageLocal& pl,
                                                                      PageId page,
-                                                                     bool flush_update) {
+                                                                     bool flush_update,
+                                                                     bool replay_now) {
   MergeWriteShards(ctx.unit(), pl, page, &ctx.stats());
   DiffBuffer& buf = ctx.diff_scratch();
   DiffScanStats scan;
@@ -612,12 +641,17 @@ CashmereProtocol::FlushResult CashmereProtocol::FlushOutgoingDiffRuns(Context& c
   // into the home node's master copy as MC remote writes. Traffic is
   // byte-identical to writing each run straight out of the DiffBuffer; the
   // diff.charge_run_headers variant additionally bills the run framing.
+  // The async publish path defers the replay: the serialized image travels
+  // in the log record and the unit's cache agent replays it (booking
+  // kDiffRunApplyBytes on its own Stats, folded into the run totals).
   const std::size_t hdr_bytes =
       cfg_.diff.charge_run_headers ? kDiffRunHeaderBytes : std::size_t{0};
   DiffWireSlot& slot = deps_.msg->DiffSlotOf(ctx.proc());
   SerializeDiffRuns(page, buf, slot);
-  const std::size_t applied = ReplayDiffWire(slot, *deps_.hub, MasterPtr(page), hdr_bytes);
-  ctx.stats().Add(Counter::kDiffRunApplyBytes, applied);
+  if (replay_now) {
+    const std::size_t applied = ReplayDiffWire(slot, *deps_.hub, MasterPtr(page), hdr_bytes);
+    ctx.stats().Add(Counter::kDiffRunApplyBytes, applied);
+  }
   ctx.stats().Add(Counter::kDiffBlocksScanned, scan.blocks_scanned);
   ctx.stats().Add(Counter::kDiffBlocksSkipped, scan.blocks_skipped);
   ctx.stats().Add(Counter::kDiffRunsEmitted, scan.runs);
@@ -687,6 +721,9 @@ void CashmereProtocol::EnterExclusiveOrShare(Context& ctx, PageLocal& pl, PageId
     claim.exclusive = true;
     claim.excl_proc = ctx.proc();
     std::uint32_t snapshot[kMaxProcs];
+    // csm-lint: allow(raw-dir-write) -- the exclusive-mode claim must be an
+    // ordered write+snapshot on the fault path itself; it cannot ride the
+    // coherence log (the race is resolved by MC write ordering, not HB).
     deps_.dir->WriteAndSnapshot(page, ctx.unit(), claim, snapshot);
     ctx.stats().Add(Counter::kDirectoryUpdates);
     if (TraceActive()) {
@@ -791,20 +828,32 @@ void CashmereProtocol::OnFault(Context& ctx, PageId page, bool is_write) {
 // ---------------------------------------------------------------------------
 // Releases (Section 2.4.3)
 
-void CashmereProtocol::SendWriteNotices(Context& ctx, PageId page) {
+std::uint32_t CashmereProtocol::WriteNoticeTargets(Context& ctx, PageId page) {
   UnitId sharers[kMaxProcs];
   const int n = deps_.dir->Sharers(page, ctx.unit(), sharers);
-  int sent = 0;
+  std::uint32_t mask = 0;
   for (int i = 0; i < n; ++i) {
     const UnitId u = sharers[i];
     if (UnitAtMaster(u, page)) {
       continue;  // home (and master-sharing) units see flushes directly
     }
+    mask |= 1u << u;
+  }
+  return mask;
+}
+
+void CashmereProtocol::SendWriteNotices(Context& ctx, PageId page) {
+  const std::uint32_t targets = WriteNoticeTargets(ctx, page);
+  int sent = 0;
+  for (int u = 0; u < cfg_.units(); ++u) {
+    if ((targets & (1u << u)) == 0) {
+      continue;
+    }
     if (IsGlobalLock()) {
       ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
                          CostModel::UsToNs(cfg_.costs.dir_lock_us));
     }
-    deps_.notices->PostGlobal(u, ctx.unit(), page);
+    deps_.notices->PostGlobal(static_cast<UnitId>(u), ctx.unit(), page);
     if (TraceActive()) {
       TraceEmit(EventKind::kWnPost, page, 0, static_cast<std::uint32_t>(u), 0);
     }
@@ -814,6 +863,70 @@ void CashmereProtocol::SendWriteNotices(Context& ctx, PageId page) {
     ctx.stats().Add(Counter::kWriteNotices, static_cast<std::uint64_t>(sent));
     ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
                        CostModel::UsToNs(cfg_.costs.mc_write_latency_us));
+  }
+}
+
+void CashmereProtocol::PublishCoherenceRecord(Context& ctx, PageLocal& pl, PageId page) {
+  const bool has_diff = !UnitAtMaster(ctx.unit(), page) && pl.twin_valid;
+  FlushResult r{};
+  if (has_diff) {
+    r = FlushOutgoingDiffRuns(ctx, pl, page, /*flush_update=*/true,
+                              /*replay_now=*/false);
+    ctx.stats().Add(Counter::kPageFlushes);
+    ctx.stats().Add(Counter::kFlushUpdates);
+  }
+  const std::uint32_t targets = WriteNoticeTargets(ctx, page);
+  if (!has_diff && targets == 0) {
+    return;  // nothing to propagate: no record, no agent work
+  }
+  // The releaser pays only the local publish cost; the diff replay, the MC
+  // bus occupancy, and the write-notice latency all move to the cache
+  // agent (AgentApply), off the release's critical path.
+  ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                     CostModel::UsToNs(cfg_.costs.log_publish_us));
+  const bool home_local =
+      cfg_.NodeOfProc(cfg_.FirstProcOfUnit(deps_.homes->HomeOfPage(page))) == ctx.node();
+  const DiffWireSlot& slot = deps_.msg->DiffSlotOf(ctx.proc());
+  bool stalled = false;
+  const std::uint64_t seq = deps_.coh->LogOf(ctx.unit()).Publish(
+      [&](CoherenceRecord& rec) {
+        rec.page = page;
+        rec.publisher = ctx.proc();
+        rec.publish_vt = ctx.clock().now();
+        rec.words = static_cast<std::uint32_t>(r.words);
+        rec.hdr_bytes = static_cast<std::uint32_t>(
+            cfg_.diff.charge_run_headers ? kDiffRunHeaderBytes : std::size_t{0});
+        rec.bus_bytes = r.bus_bytes;
+        rec.wn_targets = targets;
+        rec.has_diff = has_diff;
+        rec.home_local = home_local;
+        if (has_diff) {
+          rec.slot.page = slot.page;
+          rec.slot.nruns = slot.nruns;
+          rec.slot.nwords = slot.nwords;
+          // Copy only the used wire prefix (headers + payload): the record
+          // must carry its own image because the per-processor transmit
+          // slot is reused by the publisher's next flush.
+          // csm-lint: allow(raw-page-copy) -- wire-format bytes between two
+          // protocol-owned scratch buffers, not a page frame copy
+          std::memcpy(rec.slot.wire, slot.wire,
+                      slot.nruns * kDiffRunHeaderBytes + slot.nwords * kWordBytes);
+        }
+      },
+      &stalled);
+  // Order matters: the pending-flush count must cover the record before
+  // the publisher's release returns (FetchPage spins on it), and the
+  // sequence lands in the publisher's own seen_seq so sync objects can
+  // propagate the dependency to later acquirers.
+  pl.pending_flush.fetch_add(1, std::memory_order_acq_rel);
+  ctx.seen_seq()[ctx.unit()] = seq;
+  ctx.stats().Add(Counter::kCohLogPublishes);
+  if (stalled) {
+    ctx.stats().Add(Counter::kCohLogPublishStalls);
+  }
+  if (TraceActive()) {
+    TraceEmit(EventKind::kCohPublish, page, 0, static_cast<std::uint32_t>(ctx.unit()),
+              seq);
   }
 }
 
@@ -862,37 +975,45 @@ void CashmereProtocol::FlushPage(Context& ctx, PageLocal& pl, PageId page,
 
   pl.flush_ts.store(us.Tick(), std::memory_order_release);
 
-  if (!UnitAtMaster(ctx.unit(), page) && pl.twin_valid) {
-    if (IsShootdown()) {
-      ShootdownLocalWriters(ctx, pl, page);  // flushes + discards the twin
-    } else {
-      // Flush-update: write local modifications to both the home node and
-      // the twin, so overlapping releases skip redundant work (Section 2.5).
-      const FlushResult r = FlushOutgoingDiffRuns(ctx, pl, page, /*flush_update=*/true);
-      const std::size_t words = r.words;
-      // The flusher is write-buffered and does not stall, but the diff
-      // occupies the serial MC: later transfers queue behind it.
-      deps_.hub->ReserveBus(ctx.clock().now(), r.bus_bytes);
-      ctx.stats().Add(Counter::kPageFlushes);
-      ctx.stats().Add(Counter::kFlushUpdates);
-      const bool home_local =
-          cfg_.NodeOfProc(cfg_.FirstProcOfUnit(deps_.homes->HomeOfPage(page))) == ctx.node();
-      if (IsWriteDouble()) {
-        // Cashmere-1L: modifications were (conceptually) written through as
-        // they happened; charge the per-word doubling cost instead of the
-        // diff cost.
-        const double per_word = home_local ? cfg_.costs.write_double_word_home_us
-                                           : cfg_.costs.write_double_word_us;
-        ctx.clock().Charge(ctx.stats(), TimeCategory::kWriteDoubling,
-                           CostModel::UsToNs(per_word * static_cast<double>(words)));
+  if (deps_.coh != nullptr && !IsShootdown() && !IsWriteDouble()) {
+    // Async release path: serialize the diff + write-notice targets into
+    // the unit's CoherenceLog; the cache agent replays and posts off the
+    // critical path. Shootdown (2LS) and write-doubling (1L) keep the
+    // synchronous path — their flush semantics are inherently tied to the
+    // releasing processor.
+    PublishCoherenceRecord(ctx, pl, page);
+  } else {
+    if (!UnitAtMaster(ctx.unit(), page) && pl.twin_valid) {
+      if (IsShootdown()) {
+        ShootdownLocalWriters(ctx, pl, page);  // flushes + discards the twin
       } else {
-        ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
-                           cfg_.costs.DiffOutNs(words, home_local));
+        // Flush-update: write local modifications to both the home node and
+        // the twin, so overlapping releases skip redundant work (Section 2.5).
+        const FlushResult r = FlushOutgoingDiffRuns(ctx, pl, page, /*flush_update=*/true);
+        const std::size_t words = r.words;
+        // The flusher is write-buffered and does not stall, but the diff
+        // occupies the serial MC: later transfers queue behind it.
+        deps_.hub->ReserveBus(ctx.clock().now(), r.bus_bytes);
+        ctx.stats().Add(Counter::kPageFlushes);
+        ctx.stats().Add(Counter::kFlushUpdates);
+        const bool home_local =
+            cfg_.NodeOfProc(cfg_.FirstProcOfUnit(deps_.homes->HomeOfPage(page))) == ctx.node();
+        if (IsWriteDouble()) {
+          // Cashmere-1L: modifications were (conceptually) written through as
+          // they happened; charge the per-word doubling cost instead of the
+          // diff cost.
+          const double per_word = home_local ? cfg_.costs.write_double_word_home_us
+                                             : cfg_.costs.write_double_word_us;
+          ctx.clock().Charge(ctx.stats(), TimeCategory::kWriteDoubling,
+                             CostModel::UsToNs(per_word * static_cast<double>(words)));
+        } else {
+          ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
+                             cfg_.costs.DiffOutNs(words, home_local));
+        }
       }
     }
+    SendWriteNotices(ctx, page);
   }
-
-  SendWriteNotices(ctx, page);
   pl.dirty_mask = 0;
   if (pl.PermOfLocal(li) == Perm::kReadWrite) {
     ProtectLocal(ctx, pl, ctx.unit(), li, page, Perm::kRead);
@@ -909,9 +1030,15 @@ void CashmereProtocol::ReleaseSync(Context& ctx, bool barrier_arrival) {
   const int li = ctx.local_index();
   const std::uint64_t release_start = us.Tick();
   us.last_release_time().store(release_start, std::memory_order_release);
+  const VirtTime path_start = ctx.clock().now();
 
-  // Reusable per-processor scratch (capacity reserved by the Runtime): the
-  // release hot path never allocates.
+  // The modified-page set is derived exactly once per release, into the
+  // reusable per-processor scratch (capacity reserved by the Runtime, so
+  // the hot path never allocates). The same hoisted set feeds both
+  // propagation modes — the synchronous diff scan and the asynchronous log
+  // publish — page by page through FlushPage; neither re-walks the lists.
+  // Cross-list duplicates (a page on both the dirty and the NLE list) are
+  // absorbed by FlushPage's flush-timestamp skip rule, in both modes.
   std::vector<PageId>& pages = ctx.release_scratch();
   pages.clear();
   us.DirtyList(li).TakeAll(pages);
@@ -924,6 +1051,111 @@ void CashmereProtocol::ReleaseSync(Context& ctx, bool barrier_arrival) {
   // the release completes — once a remote acquirer observes this release,
   // our writes here must fault again.
   CommitPermBatch(ctx);
+  // Critical-path accounting for the sync-vs-async ablation
+  // (bench_async_release): virtual nanoseconds from release entry to the
+  // point where user execution may resume. In async mode the deferred
+  // replay/notice costs land on the cache agent's clock instead and this
+  // counter records only the publish cost.
+  ctx.stats().Add(Counter::kReleasePathNs,
+                  static_cast<std::uint64_t>(ctx.clock().now() - path_start));
+}
+
+// ---------------------------------------------------------------------------
+// Async coherence pipeline: agent apply + acquire gate (DESIGN.md §12)
+
+void CashmereProtocol::AgentApply(UnitId unit, const CoherenceRecord& rec,
+                                  VirtualClock& clock, Stats& stats) {
+  const PageId page = rec.page;
+  if (rec.has_diff) {
+    const std::size_t applied =
+        ReplayDiffWire(rec.slot, *deps_.hub, MasterPtr(page), rec.hdr_bytes);
+    stats.Add(Counter::kDiffRunApplyBytes, applied);
+    // The apply occupies the serial MC exactly as the synchronous flush
+    // would have: later transfers queue behind it.
+    deps_.hub->ReserveBus(clock.now(), rec.bus_bytes);
+    clock.Charge(stats, TimeCategory::kProtocol,
+                 cfg_.costs.DiffOutNs(rec.words, rec.home_local));
+  }
+  int sent = 0;
+  for (int u = 0; u < cfg_.units(); ++u) {
+    if ((rec.wn_targets & (1u << u)) == 0) {
+      continue;
+    }
+    if (IsGlobalLock()) {
+      clock.Charge(stats, TimeCategory::kProtocol,
+                   CostModel::UsToNs(cfg_.costs.dir_lock_us));
+    }
+    deps_.notices->PostGlobal(static_cast<UnitId>(u), unit, page);
+    if (TraceActive()) {
+      TraceEmit(EventKind::kWnPost, page, 0, static_cast<std::uint32_t>(u), 0);
+    }
+    ++sent;
+  }
+  if (sent > 0) {
+    stats.Add(Counter::kWriteNotices, static_cast<std::uint64_t>(sent));
+    clock.Charge(stats, TimeCategory::kProtocol,
+                 CostModel::UsToNs(cfg_.costs.mc_write_latency_us));
+  }
+  // Decrement only after the master replay and the notice posts: a local
+  // fetch spinning on pending_flush must observe the applied diff, and a
+  // gated acquirer that observes the advanced applied_seq (PopApplied,
+  // called by the agent loop after this returns) must find the notices
+  // already posted.
+  Unit(unit).Page(page).pending_flush.fetch_sub(1, std::memory_order_acq_rel);
+  stats.Add(Counter::kCohLogApplies);
+  if (TraceActive()) {
+    TraceEmit(EventKind::kCohApply, page, 0, static_cast<std::uint32_t>(unit),
+              rec.seq);
+  }
+}
+
+void CashmereProtocol::GateOnAppliedSeq(Context& ctx) {
+  if (deps_.coh == nullptr) {
+    return;
+  }
+  const std::uint64_t* seen = ctx.seen_seq();
+  VirtTime gate_vt = 0;
+  for (int u = 0; u < cfg_.units(); ++u) {
+    const std::uint64_t want = seen[u];
+    if (u == ctx.unit() || want == 0) {
+      // Own-unit visibility is direct (local processors share the unit's
+      // working frames; fetches spin on pending_flush), so the gate only
+      // covers units whose releases this acquire happens-after.
+      continue;
+    }
+    CoherenceLog& log = deps_.coh->LogOf(static_cast<UnitId>(u));
+    if (log.applied_seq() < want) {
+      ctx.stats().Add(Counter::kCohGateWaits);
+      if (TraceActive()) {
+        TraceEmit(EventKind::kCohGate, kNoTracePage, 0,
+                  static_cast<std::uint32_t>(u), want);
+      }
+      Backoff backoff;
+      while (log.applied_seq() < want) {
+        // The agent itself never blocks on us (it takes no locks and sends
+        // no requests), but remote releasers feeding its log may — keep
+        // servicing our unit's incoming requests while we wait.
+        if (deps_.msg->HasPending(ctx.unit())) {
+          deps_.msg->Poll(ctx.unit());
+          backoff.Reset();
+        } else {
+          backoff.Pause();
+        }
+      }
+    }
+    const VirtTime applied_vt = log.AppliedVtOf(want);
+    if (applied_vt > gate_vt) {
+      gate_vt = applied_vt;
+    }
+  }
+  if (gate_vt != 0) {
+    // Reconcile with the latest gated apply time: the acquire completes no
+    // earlier than the point at which its last happens-before predecessor
+    // became globally visible. A gate slot lost to ring wraparound
+    // contributes 0 — a documented conservative modeling choice (the
+    // happens-before wait itself is still exact via applied_seq).
+    ctx.clock().AdvanceTo(ctx.stats(), gate_vt);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -935,6 +1167,12 @@ void CashmereProtocol::AcquireSync(Context& ctx) {
   ctx.SetDebugState(7, 0);
   UnitState& us = Unit(ctx.unit());
   us.Tick();
+  // Async mode: wait (happens-before only) for the log prefixes this
+  // acquire depends on, BEFORE draining write notices — the gated agents'
+  // posts must be in the bins when the drain runs (the relaxed ordering
+  // the replay checker verifies: WN visible before the acquire gate
+  // passes, not before the release returns).
+  GateOnAppliedSeq(ctx);
 
   // Distribute global write notices to the per-processor lists of local
   // processors with mappings, stamping the page's write-notice time.
@@ -1010,6 +1248,23 @@ void CashmereProtocol::BarrierDepartEnd(Context& ctx) {
 
 void CashmereProtocol::FinalFlush(Context& ctx) {
   UnitState& us = Unit(ctx.unit());
+  // Async mode: the gated AcquireSync of the preceding full barrier already
+  // covers every record published before the barrier's arrivals, so the
+  // logs are normally drained here. Wait for our own unit's log anyway
+  // (belt and braces — e.g. an app whose last release raced the barrier):
+  // the quiesce below reads master frames the agent may still write.
+  if (deps_.coh != nullptr) {
+    Backoff backoff;
+    const CoherenceLog& log = deps_.coh->LogOf(ctx.unit());
+    while (!log.Empty()) {
+      if (deps_.msg->HasPending(ctx.unit())) {
+        deps_.msg->Poll(ctx.unit());
+        backoff.Reset();
+      } else {
+        backoff.Pause();
+      }
+    }
+  }
   for (PageId page = 0; page < cfg_.pages(); ++page) {
     PageLocal& pl = us.Page(page);
     SpinLockGuard guard(pl.lock);

@@ -38,6 +38,7 @@
 #include "cashmere/common/types.hpp"
 #include "cashmere/mc/hub.hpp"
 #include "cashmere/msg/message_layer.hpp"
+#include "cashmere/protocol/coherence_log.hpp"
 #include "cashmere/protocol/directory.hpp"
 #include "cashmere/protocol/home_table.hpp"
 #include "cashmere/protocol/page_table.hpp"
@@ -62,6 +63,9 @@ class CashmereProtocol : public RequestHandler {
     std::vector<std::unique_ptr<View>>* views = nullptr;       // per processor
     std::vector<std::unique_ptr<TwinPool>>* twins = nullptr;   // per unit
     std::vector<std::unique_ptr<UnitState>>* units = nullptr;  // per unit
+    // Non-null iff Config::async.release: the per-unit CoherenceLogs the
+    // release path publishes into and the cache agents drain.
+    CoherenceEngine* coh = nullptr;
   };
 
   explicit CashmereProtocol(Deps deps);
@@ -95,6 +99,19 @@ class CashmereProtocol : public RequestHandler {
   // dirty pages of the calling processor's unit to the master copies so
   // results can be read out. Called once per unit after a full barrier.
   void FinalFlush(Context& ctx);
+
+  // Async release-path coherence: applies one published log record on the
+  // cache-agent thread of `unit` — replays the record's serialized diff
+  // into the home node's master copy, posts the recorded write notices,
+  // and decrements the page's pending-flush count. The caller (the agent
+  // loop in Runtime::Run) advances `clock` to the record's publish time
+  // first and calls CoherenceLog::PopApplied afterwards, in that order, so
+  // a gated acquirer that observes the advanced applied_seq also observes
+  // the applied diff and the posted notices. Takes no page locks (see
+  // docs/concurrency.md: publishers may spin on a full ring while holding
+  // one).
+  void AgentApply(UnitId unit, const CoherenceRecord& rec, VirtualClock& clock,
+                  Stats& stats);
 
   // Software fault mode only: records that [offset, offset + bytes) of
   // `page` is about to be written by the processor at `local_index` of
@@ -149,6 +166,28 @@ class CashmereProtocol : public RequestHandler {
   void FlushPage(Context& ctx, PageLocal& pl, PageId page, std::uint64_t release_start,
                  bool barrier_arrival) CSM_EXCLUDES(pl.lock);
   void SendWriteNotices(Context& ctx, PageId page);
+  // Units (bitmask) a release of `page` must notify: the directory's
+  // sharing set minus master-sharing units. In async mode this is read at
+  // publish time, under the page lock — the same point of the release at
+  // which the synchronous path reads it — so the write-notice sets (and
+  // the kWriteNotices counters) are identical across modes.
+  std::uint32_t WriteNoticeTargets(Context& ctx, PageId page);
+  // Async release path (Config::async.release): serializes the page's
+  // outgoing diff and write-notice target set into the unit's CoherenceLog
+  // instead of replaying synchronously, bumps the page's pending-flush
+  // count, records the new sequence in ctx.seen_seq(), and charges only
+  // the publish cost — the diff replay, bus occupancy, and write-notice
+  // latency move to the cache agent (AgentApply).
+  void PublishCoherenceRecord(Context& ctx, PageLocal& pl, PageId page)
+      CSM_REQUIRES(pl.lock);
+  // Happens-before gate at the top of AcquireSync (async mode): waits
+  // until every unit whose releases precede this acquire (per
+  // ctx.seen_seq(), max-folded through sync objects) has applied the
+  // corresponding log prefix, then reconciles the acquirer's clock with
+  // the latest gated apply time. Gates on exactly the happens-before
+  // predecessors — never on unrelated in-flight traffic. No-op in
+  // synchronous mode.
+  void GateOnAppliedSeq(Context& ctx);
   // Result of one outgoing diff flush: modified words (drives the DiffOut
   // virtual-time charge) and the bytes the transfer occupies on the serial
   // MC bus — payload only by default, payload + run headers under the
@@ -159,11 +198,15 @@ class CashmereProtocol : public RequestHandler {
   };
   // Merges the unit's write-tracking shards into the twin's map, block-scans
   // working-vs-twin (restricted by the map), serializes the RLE runs into
-  // the flusher's wire buffer in the message layer, and replays them into
-  // the home node's master copy as MC remote writes. `pl` is the page's
-  // state on ctx's unit; its lock is held by the caller.
+  // the flusher's wire buffer in the message layer, and — when `replay_now`
+  // — replays them into the home node's master copy as MC remote writes.
+  // The async publish path passes replay_now = false: the serialized image
+  // is copied into the log record and the unit's cache agent performs the
+  // replay (and books kDiffRunApplyBytes) when it applies the record. `pl`
+  // is the page's state on ctx's unit; its lock is held by the caller.
   FlushResult FlushOutgoingDiffRuns(Context& ctx, PageLocal& pl, PageId page,
-                                    bool flush_update) CSM_REQUIRES(pl.lock);
+                                    bool flush_update, bool replay_now = true)
+      CSM_REQUIRES(pl.lock);
   // OR-folds every local shard stamped with the current twin generation
   // into the twin's master map; stale-generation shards are skipped. `pl`
   // is the page's state on `unit`; its lock is held by the caller

@@ -62,6 +62,16 @@ struct PageLocal {
   ProcId excl_proc CSM_GUARDED_BY(lock) = 0;
   // The local frame has held a valid copy
   bool ever_valid CSM_GUARDED_BY(lock) = false;
+  // Async release-path coherence (protocol/coherence_log.hpp): number of
+  // published-but-not-yet-applied log records covering this page on this
+  // unit. Incremented under the page lock at publish time; decremented by
+  // the unit's cache agent (which takes no page locks) after it has
+  // replayed the record's diff into the master copy and posted the write
+  // notices. While nonzero, (a) a local fetch must not read the master copy
+  // — it would miss this unit's own in-flight modifications — and (b) the
+  // unit must stay in the page's sharing set so no other unit claims
+  // exclusive mode over the pending flush.
+  std::atomic<std::uint32_t> pending_flush{0};
   // Trace-only transition sequence: bumped (under the page lock) for every
   // traced per-page protocol transition, giving the replay invariant
   // checker a total order over one page's transitions that does not depend

@@ -97,6 +97,16 @@ class Context {
   // ReleaseSync never allocates on the hot path).
   std::vector<PageId>& release_scratch() const { return *release_scratch_; }
 
+  // Async release-path coherence: the per-unit log sequences this
+  // processor's releases and acquired sync objects have made it depend on
+  // (indexed by unit). Written only by the owning processor; sync objects
+  // max-fold it through their atomic vectors at release/acquire
+  // (protocol/coherence_log.hpp). AcquireSync gates on exactly these
+  // entries — the happens-before predecessors — never on unrelated
+  // in-flight traffic.
+  std::uint64_t* seen_seq() { return seen_seq_; }
+  const std::uint64_t* seen_seq() const { return seen_seq_; }
+
   // The current thread's context (bound by Runtime::Run). Null outside.
   static Context* Current();
   static void Bind(Context* ctx);
@@ -126,6 +136,7 @@ class Context {
   std::vector<PageId>* release_scratch_ = nullptr;
   VirtualClock clock_;
   Stats stats_;
+  std::uint64_t seen_seq_[kMaxProcs] = {};
   std::atomic<std::uint64_t> debug_state_{0};
   std::uint64_t poll_count_pending_ = 0;
 };

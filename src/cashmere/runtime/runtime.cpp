@@ -9,6 +9,7 @@
 #include "cashmere/common/calibration.hpp"
 #include "cashmere/common/logging.hpp"
 #include "cashmere/common/ownership.hpp"
+#include "cashmere/common/spin.hpp"
 #include "cashmere/protocol/diff.hpp"
 
 namespace cashmere {
@@ -68,6 +69,10 @@ Runtime::Runtime(Config cfg, SyncShape sync)
   deps.views = &views_;
   deps.twins = &twins_;
   deps.units = &units_;
+  if (cfg_.async.release) {
+    coh_ = std::make_unique<CoherenceEngine>(cfg_);
+    deps.coh = coh_.get();
+  }
   protocol_ = std::make_unique<CashmereProtocol>(deps);
 
   for (int i = 0; i < sync.locks; ++i) {
@@ -85,7 +90,11 @@ Runtime::Runtime(Config cfg, SyncShape sync)
   internal_barrier_ =
       std::make_unique<ClusterBarrier>(cfg_, hub_, *protocol_, /*counted=*/false);
   if (cfg_.trace.enabled) {
-    trace_log_ = std::make_unique<TraceLog>(cfg_.total_procs(), cfg_.trace.ring_events);
+    // One ring per processor, plus one per cache agent in async mode
+    // (rings [total_procs, total_procs + units)).
+    const int rings =
+        cfg_.total_procs() + (cfg_.async.release ? cfg_.units() : 0);
+    trace_log_ = std::make_unique<TraceLog>(rings, cfg_.trace.ring_events);
   }
 
   for (ProcId p = 0; p < cfg_.total_procs(); ++p) {
@@ -267,7 +276,8 @@ void Runtime::WatchdogLoop() {
         std::fprintf(stderr, "cashmere: watchdog: trace ring tails (racy read):\n");
         constexpr std::size_t kTailEvents = 16;
         TraceEvent tail[kTailEvents];
-        for (ProcId tp = 0; tp < cfg_.total_procs(); ++tp) {
+        // trace_log_->procs() covers the cache-agent rings too (async mode).
+        for (ProcId tp = 0; tp < trace_log_->procs(); ++tp) {
           const std::size_t n = trace_log_->ring(tp).DebugTail(tail, kTailEvents);
           for (std::size_t i = 0; i < n; ++i) {
             const TraceEvent& e = tail[i];
@@ -304,6 +314,60 @@ void Runtime::Run(const std::function<void(Context&)>& body) {
   running_.store(true, std::memory_order_release);
   std::thread watchdog([this] { WatchdogLoop(); });
 
+  // Cache-agent threads (async release-path coherence): one per unit,
+  // spawned before the processor threads so the logs drain from the first
+  // publish. Each agent owns its own clock, stats, and (when tracing)
+  // ring, under agent proc id total_procs + unit — ids beyond kMaxProcs
+  // never index per-processor protocol state; they exist for the
+  // ownership checker and the trace stream.
+  struct AgentState {
+    VirtualClock clock;
+    Stats stats;
+  };
+  std::deque<AgentState> agent_states;
+  std::vector<std::thread> agent_threads;
+  std::atomic<bool> agents_stop{false};
+  if (coh_) {
+    for (UnitId u = 0; u < cfg_.units(); ++u) {
+      agent_states.emplace_back();
+    }
+    for (UnitId u = 0; u < cfg_.units(); ++u) {
+      agent_threads.emplace_back([this, u, scale, &agent_states, &agents_stop] {
+        AgentState& as = agent_states[static_cast<std::size_t>(u)];
+        const ProcId agent_id = cfg_.total_procs() + u;
+        OwnershipBindThread(agent_id, u);
+        as.clock.Start(scale);
+        if (trace_log_) {
+          TraceBindThread(&trace_log_->ring(agent_id), &as.clock, agent_id);
+        }
+        CoherenceLog& log = coh_->LogOf(u);
+        Backoff backoff;
+        while (true) {
+          const CoherenceRecord* rec = log.Peek();
+          if (rec == nullptr) {
+            // Drain-before-exit: the stop flag is only honoured on an
+            // empty log, so every published record is applied even when
+            // stop raced a publish.
+            if (agents_stop.load(std::memory_order_acquire)) {
+              break;
+            }
+            backoff.Pause();
+            continue;
+          }
+          backoff.Reset();
+          // The apply begins no earlier than the publish; the gap (the
+          // agent was busy or idle) is the pipeline's latency, visible to
+          // acquirers only through the gate.
+          as.clock.AdvanceTo(as.stats, rec->publish_vt);
+          protocol_->AgentApply(u, *rec, as.clock, as.stats);
+          log.PopApplied(as.clock.now());
+        }
+        TraceUnbindThread();
+        OwnershipUnbindThread();
+      });
+    }
+  }
+
   std::vector<VirtTime> final_vt(static_cast<std::size_t>(cfg_.total_procs()), 0);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(cfg_.total_procs()));
@@ -338,6 +402,15 @@ void Runtime::Run(const std::function<void(Context&)>& body) {
   for (auto& t : threads) {
     t.join();
   }
+  // Stop the agents only after every processor thread has finished: the
+  // final internal barrier's gated AcquireSync has already forced all
+  // published records to be applied, and the drain-before-exit loop covers
+  // any straggler, so every log is empty before Run returns (CopyOut reads
+  // master copies the agents no longer touch).
+  agents_stop.store(true, std::memory_order_release);
+  for (auto& t : agent_threads) {
+    t.join();
+  }
   running_.store(false, std::memory_order_release);
   watchdog.join();
   if (cfg_.fault_mode == FaultMode::kSigsegv) {
@@ -353,12 +426,29 @@ void Runtime::Run(const std::function<void(Context&)>& body) {
       s.Add(Counter::kTraceEvents, ring.total());
       s.Add(Counter::kTraceDrops, ring.dropped());
     }
+    // Agent rings fold into the agents' own stats so the counters reach
+    // the report through the same path as everything else below.
+    for (std::size_t a = 0; a < agent_states.size(); ++a) {
+      const TraceRing& ring = trace_log_->ring(cfg_.total_procs() + static_cast<int>(a));
+      agent_states[a].stats.Add(Counter::kTraceEvents, ring.total());
+      agent_states[a].stats.Add(Counter::kTraceDrops, ring.dropped());
+    }
   }
 
   report_ = StatsReport{};
   for (Context& ctx : contexts_) {
     report_.total += ctx.stats_;
     report_.user_host_ns += ctx.clock_.user_host_ns();
+  }
+  // Agent counters (applies, replayed diff bytes, deferred write notices)
+  // fold into the totals — kDiffRunApplyBytes must keep matching
+  // kDiffRunBytes across modes — but agent *time* does not: Figure 6's
+  // breakdown covers processor execution time, and the agents' applied
+  // time reaches acquirers through the gate reconciliation instead.
+  for (const AgentState& as : agent_states) {
+    for (int c = 0; c < kNumCounters; ++c) {
+      report_.total.Add(static_cast<Counter>(c), as.stats.Get(static_cast<Counter>(c)));
+    }
   }
   report_.total.counts[static_cast<int>(Counter::kDataBytes)] = hub_.DataBytes();
   report_.exec_time_ns = *std::max_element(final_vt.begin(), final_vt.end());

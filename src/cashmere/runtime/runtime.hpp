@@ -88,8 +88,12 @@ class Runtime : public FaultSink {
   McHub& hub() { return hub_; }
   CashmereProtocol& protocol() { return *protocol_; }
   HomeTable& homes() { return homes_; }
+  // Non-null iff cfg.async.release: the per-unit coherence logs the cache
+  // agents drain (protocol/coherence_log.hpp).
+  CoherenceEngine* coherence() { return coh_.get(); }
   // Non-null iff cfg.trace.enabled; holds the last Run's event streams
-  // (Run resets the rings at entry).
+  // (Run resets the rings at entry). With async.release on, rings
+  // [total_procs, total_procs + units) belong to the cache agents.
   TraceLog* trace_log() { return trace_log_.get(); }
   // Transfers ownership of the trace log (e.g. to outlive the Runtime for
   // post-run export/checking). Further Runs on this Runtime trace nothing.
@@ -117,6 +121,9 @@ class Runtime : public FaultSink {
   HomeTable homes_;
   WriteNoticeBoard notices_;
   MessageLayer msg_;
+  // Async release-path coherence (cfg.async.release): per-unit logs; the
+  // agent threads themselves live only for the duration of each Run.
+  std::unique_ptr<CoherenceEngine> coh_;
   std::unique_ptr<CashmereProtocol> protocol_;
   SharedHeap heap_;
   std::deque<Context> contexts_;

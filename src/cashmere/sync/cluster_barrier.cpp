@@ -32,6 +32,11 @@ void ClusterBarrier::Wait(Context& ctx) {
   const std::uint64_t my_epoch = epoch_.load(std::memory_order_acquire);
   Episode& episode = episodes_[my_epoch % 2];
 
+  // Publish our happens-before sequence vector — including the log records
+  // the arrival's ReleaseSync just published (async mode) — so every
+  // departer gates on every arriver's releases.
+  PublishSeqVector(episode.seen_seq, ctx.seen_seq(), cfg_.units());
+
   // Publish our arrival clock (max over participants drives departure).
   std::uint64_t now = ctx.clock().now();
   std::uint64_t seen = episode.max_vt.load(std::memory_order_relaxed);
@@ -60,6 +65,9 @@ void ClusterBarrier::Wait(Context& ctx) {
     next.arrived.store(0, std::memory_order_relaxed);
     next.max_vt.store(0, std::memory_order_relaxed);
     next.node_arrivals.store(0, std::memory_order_relaxed);
+    for (int u = 0; u < cfg_.units(); ++u) {
+      next.seen_seq[u].store(0, std::memory_order_relaxed);
+    }
     epoch_.store(my_epoch + 1, std::memory_order_release);
   } else {
     Backoff backoff;
@@ -71,6 +79,7 @@ void ClusterBarrier::Wait(Context& ctx) {
 
   // Departure: reconcile clocks and run acquire-side consistency.
   ctx.clock().AdvanceTo(ctx.stats(), episode.release_vt.load(std::memory_order_acquire));
+  MergeSeqVector(ctx.seen_seq(), episode.seen_seq, cfg_.units());
   protocol_.AcquireSync(ctx);
   protocol_.BarrierDepartEnd(ctx);
   if (TraceActive()) {

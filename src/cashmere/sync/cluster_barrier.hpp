@@ -49,6 +49,12 @@ class ClusterBarrier {
     std::atomic<std::uint64_t> max_vt{0};
     std::atomic<std::uint64_t> release_vt{0};
     std::atomic<int> node_arrivals{0};  // nodes fully arrived (MC array)
+    // Async release-path coherence: max-fold of every arriver's per-unit
+    // log sequence vector. Departers merge it before their acquire gate,
+    // so a barrier transitively orders all participants' publishes
+    // (protocol/coherence_log.hpp). Reset with the rest of the episode by
+    // the last arriver of the *previous* episode.
+    std::atomic<std::uint64_t> seen_seq[kMaxProcs] = {};
   };
 
   const Config& cfg_;

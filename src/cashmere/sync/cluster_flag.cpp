@@ -13,6 +13,10 @@ ClusterFlag::ClusterFlag(const Config& cfg, McHub& hub, CashmereProtocol& protoc
 void ClusterFlag::Set(Context& ctx, std::uint64_t value) {
   ProtocolScope scope(ctx);
   protocol_.ReleaseSync(ctx, /*barrier_arrival=*/false);
+  // Publish the setter's happens-before sequence vector before the value,
+  // like set_vt_: a waiter that sees the value gates on at least the log
+  // records this release published (async mode).
+  PublishSeqVector(seen_seq_, ctx.seen_seq(), cfg_.units());
   // Publish the releaser's clock before the value so a waiter that sees the
   // value also sees a clock at least this late.
   const VirtTime vt =
@@ -46,6 +50,7 @@ void ClusterFlag::WaitGe(Context& ctx, std::uint64_t value) {
       TraceEmit(EventKind::kFlagWait, kNoTracePage, 0,
                 static_cast<std::uint32_t>(trace_id_), value);
     }
+    MergeSeqVector(ctx.seen_seq(), seen_seq_, cfg_.units());
     protocol_.AcquireSync(ctx);
     return;
   }
@@ -61,6 +66,7 @@ void ClusterFlag::WaitGe(Context& ctx, std::uint64_t value) {
     TraceEmit(EventKind::kFlagWait, kNoTracePage, 0,
               static_cast<std::uint32_t>(trace_id_), value);
   }
+  MergeSeqVector(ctx.seen_seq(), seen_seq_, cfg_.units());
   protocol_.AcquireSync(ctx);
 }
 

@@ -46,6 +46,11 @@ class ClusterFlag {
   std::atomic<std::uint64_t> value_{0};
   CSM_SINGLE_WRITER("the producing processor of this flag")
   std::atomic<VirtTime> set_vt_{0};
+  // Async release-path coherence: setters max-fold their observed per-unit
+  // log sequence vector here; waiters merge it before their acquire gate
+  // (protocol/coherence_log.hpp). CAS max-folds, so racing monotonic
+  // setters compose like set_vt_ does.
+  std::atomic<std::uint64_t> seen_seq_[kMaxProcs] = {};
 };
 
 }  // namespace cashmere

@@ -72,6 +72,9 @@ void ClusterLock::Acquire(Context& ctx) {
     TraceEmit(EventKind::kLockAcquire, kNoTracePage, 0,
               static_cast<std::uint32_t>(trace_id_), release_vt);
   }
+  // Inherit the lock's happens-before sequence vector before the acquire's
+  // gate runs (async mode; a no-op vector otherwise).
+  MergeSeqVector(ctx.seen_seq(), seen_seq_, cfg_.units());
   protocol_.AcquireSync(ctx);
 }
 
@@ -104,6 +107,10 @@ void ClusterLock::DebugDump(int id) const {
 void ClusterLock::Release(Context& ctx) {
   ProtocolScope scope(ctx);
   protocol_.ReleaseSync(ctx, /*barrier_arrival=*/false);
+  // Publish everything this releaser has observed — including the log
+  // records its ReleaseSync just published — so the next acquirer gates on
+  // them (async mode; a no-op vector otherwise).
+  PublishSeqVector(seen_seq_, ctx.seen_seq(), cfg_.units());
   release_vt_.store(ctx.clock().now(), std::memory_order_release);
   if (TraceActive()) {
     TraceEmit(EventKind::kLockRelease, kNoTracePage, 0,

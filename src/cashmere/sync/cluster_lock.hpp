@@ -60,6 +60,11 @@ class ClusterLock {
   CSM_SINGLE_WRITER("unit u for entries_[u]")
   std::uint32_t entries_[kMaxProcs] = {};
   std::atomic<VirtTime> release_vt_{0};
+  // Async release-path coherence (protocol/coherence_log.hpp): per-unit log
+  // sequence vector max-folded by releasers and merged by acquirers, so the
+  // acquirer's gate covers exactly the releases that happen-before the
+  // acquire (transitively, through the releaser's own merged vector).
+  std::atomic<std::uint64_t> seen_seq_[kMaxProcs] = {};
 };
 
 }  // namespace cashmere

@@ -1,0 +1,57 @@
+// Known-bad fixture: direct directory writes from release-path code instead
+// of publishing through the coherence log. The async release path depends
+// on the logged flush never mutating directory words — every transition
+// funnels through UpdateDirWord (fault/acquire path) or the ordered
+// exclusive claim — so a ReleaseSync that calls dir->Write directly races
+// the agent's deferred replay and breaks the applied-clock gate. The
+// sanctioned sites (UpdateDirWord's two stores and the exclusive-claim
+// WriteAndSnapshot) carry explicit waivers in cashmere_protocol.cpp.
+// Directory's own implementation file (directory.cpp) is exempt by path.
+//
+// csm-lint-domain: protocol
+// csm-lint-expect: raw-dir-write
+// csm-lint-expect: raw-dir-write
+// csm-lint-expect: raw-dir-write
+#include <cstdint>
+
+namespace fixture {
+
+struct DirWord {
+  std::uint32_t bits = 0;
+};
+
+struct Directory {
+  void Write(std::uint32_t page, std::uint32_t unit, DirWord word);
+  void WriteAndSnapshot(std::uint32_t page, std::uint32_t unit, DirWord word,
+                        std::uint32_t* snapshot);
+  std::uint32_t Read(std::uint32_t page, std::uint32_t unit) const;
+};
+
+void BadReleasePathStore(Directory& dir, std::uint32_t page, std::uint32_t unit) {
+  // Mutating the directory directly at release bypasses the log agent.
+  dir.Write(page, unit, DirWord{});
+}
+
+void BadPointerStore(Directory* dir, std::uint32_t page, std::uint32_t unit) {
+  dir->Write(page, unit, DirWord{});
+}
+
+void BadSnapshotClaim(Directory* dir, std::uint32_t page, std::uint32_t unit,
+                      std::uint32_t* snap) {
+  dir->WriteAndSnapshot(page, unit, DirWord{}, snap);
+}
+
+std::uint32_t OkRead(const Directory& dir, std::uint32_t page, std::uint32_t unit) {
+  // Reads are lock-free replicated lookups and must not trip the rule.
+  return dir.Read(page, unit);
+}
+
+void OkWaivedStore(Directory& dir, std::uint32_t page, std::uint32_t unit) {
+  // csm-lint: allow(raw-dir-write) -- fixture copy of a sanctioned funnel site
+  dir.Write(page, unit, DirWord{});
+}
+
+// Mentions in comments (dir.Write(...)) and strings must not count:
+const char* kDoc = "never call dir.Write( outside the log-publish path )";
+
+}  // namespace fixture

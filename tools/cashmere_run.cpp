@@ -30,7 +30,8 @@ using namespace cashmere;
                "usage: %s --app <%s>\n"
                "          [--protocol 2L|2LS|2L-lock|1LD|1L] [--procs N] [--ppn N]\n"
                "          [--size test|bench|large] [--home-opt] [--interrupts]\n"
-               "          [--no-first-touch] [--cost-scale auto|<float>] [--list]\n",
+               "          [--no-first-touch] [--async] [--cost-scale auto|<float>]\n"
+               "          [--list]\n",
                argv0, names.c_str());
   std::exit(2);
 }
@@ -90,6 +91,8 @@ int main(int argc, char** argv) {
       cfg.delivery = DeliveryMode::kInterrupt;
     } else if (arg == "--no-first-touch") {
       cfg.first_touch = false;
+    } else if (arg == "--async") {
+      cfg.async.release = true;
     } else if (arg == "--cost-scale") {
       const std::string s = next();
       cfg.cost.scale = s == "auto" ? 0.0 : std::atof(s.c_str());

@@ -31,6 +31,17 @@
 //                        elision and range coalescing always apply; a
 //                        stray per-page View::Protect silently reopens the
 //                        one-syscall-per-page path.
+//   raw-dir-write        `.Write(` / `->Write(` / `WriteAndSnapshot(`
+//                        directory mutations in the shared-memory domains
+//                        outside directory.{cpp,hpp} itself. The async
+//                        release path (DESIGN.md §12) depends on the
+//                        logged flush never mutating directory words:
+//                        every transition funnels through UpdateDirWord
+//                        (fault/acquire path) or the ordered exclusive
+//                        claim, so the agent's deferred replay cannot race
+//                        a release-side store. Those are the sanctioned
+//                        (waived) sites; anything else is a release-path
+//                        directory write sneaking around the log.
 //
 // Waivers: a finding is suppressed by a same-line or immediately-preceding
 //   // csm-lint: allow(<rule>) -- <justification>
@@ -75,6 +86,7 @@ struct FileInfo {
   bool fault_path = false;            // fault_dispatcher.*
   bool word_access = false;           // the sanctioned atomics site
   bool vm_dir = false;                // vm/ — View::Protect's home layer
+  bool dir_home = false;              // directory.{cpp,hpp} — Directory's own file
   std::vector<std::string> expects;   // fixture expectations
 };
 
@@ -284,6 +296,15 @@ void LintFile(const FileInfo& f, const std::string& display_path,
                       s.find("->Protect(") != std::string::npos)) {
       report(i, "raw-view-protect");
     }
+    // Same boundary trick as raw-view-protect. `->WriteAndSnapshot(` does
+    // not double-fire the `->Write(` needle (next char is 'A', not '(').
+    if (f.copy_domain && !f.dir_home &&
+        (s.find(".Write(") != std::string::npos ||
+         s.find("->Write(") != std::string::npos ||
+         s.find(".WriteAndSnapshot(") != std::string::npos ||
+         s.find("->WriteAndSnapshot(") != std::string::npos)) {
+      report(i, "raw-dir-write");
+    }
     if (f.copy_domain) {
       for (const char* tok : kRawCopyTokens) {
         if (ContainsToken(s, tok)) {
@@ -325,6 +346,7 @@ bool LoadFile(const fs::path& path, FileInfo* out) {
   out->fault_path = name.rfind("fault_dispatcher", 0) == 0;
   out->word_access = name == "word_access.hpp";
   out->vm_dir = generic.find("/vm/") != std::string::npos;
+  out->dir_home = name == "directory.cpp" || name == "directory.hpp";
   // Fixture directives override path classification.
   for (const std::string& raw : out->raw) {
     std::size_t at = raw.find("csm-lint-domain:");
