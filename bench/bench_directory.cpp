@@ -1,0 +1,306 @@
+// Directory backend benchmark: replicated broadcast vs sharded
+// point-to-point at million-page arena scale (Config::dir.mode;
+// DESIGN.md §13, EXPERIMENTS.md).
+//
+// The replicated directory pays O(units) wire bytes per update and
+// O(pages x units) resident words on *every* unit; the sharded backend
+// pays one point-to-point word per update (free when the updater is the
+// shard owner) and allocates entry segments lazily, so memory follows
+// touched pages. This harness drives both backends standalone (directory +
+// MC hub + home table, no full runtime) through an identical protocol-shaped
+// update/query mix and sweeps pages 10^3 -> 10^6 and units 4 -> 32 (units
+// above 8 use the 1LD shape: units = processors, the sweep's directory
+// scale axis).
+//
+// Per (pages, units) cell, for each touched page: every unit joins the
+// sharing set, one unit attempts an exclusive claim (query + ordered
+// write-and-snapshot + withdrawal), one unit collects write-notice targets,
+// and every unit churns its word twice more — the per-page shape of the
+// fault/release paths. Wire bytes come from the hub's directory traffic
+// class; resident bytes from DirectoryBackend::ResidentBytes() (replicated:
+// one replica per unit cluster-wide; sharded: allocated segments + entry
+// caches). Both backends are cross-checked for identical sharer sets and
+// holders on a sample of pages.
+//
+// Exit status is nonzero unless, at the top of the sweep (10^6 pages, 32
+// units), the sharded backend shows >= 4x lower directory wire traffic and
+// >= 10x lower resident directory memory, and every cell cross-checks.
+// Results go to stdout and BENCH_directory.json.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cashmere/common/config.hpp"
+#include "cashmere/mc/hub.hpp"
+#include "cashmere/protocol/directory.hpp"
+#include "cashmere/protocol/directory_sharded.hpp"
+#include "cashmere/protocol/home_table.hpp"
+
+namespace cashmere {
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+// Cluster shape yielding `units` coherence units: the 2L family (units =
+// nodes) up to 8, the 1LD shape (units = processors) above.
+Config UnitsConfig(int units, std::size_t pages) {
+  Config cfg;
+  if (units <= kMaxNodes) {
+    cfg.protocol = ProtocolVariant::kTwoLevel;
+    cfg.nodes = units;
+    cfg.procs_per_node = 1;
+  } else {
+    cfg.protocol = ProtocolVariant::kOneLevelDiff;
+    cfg.nodes = kMaxNodes;
+    cfg.procs_per_node = units / kMaxNodes;
+  }
+  cfg.heap_bytes = pages * kPageBytes;
+  return cfg;
+}
+
+struct CellResult {
+  std::size_t pages = 0;
+  int units = 0;
+  std::size_t touched = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t wire_replicated = 0;
+  std::uint64_t wire_sharded = 0;
+  std::size_t resident_replicated = 0;
+  std::size_t resident_sharded = 0;
+  double ns_per_update_replicated = 0.0;
+  double ns_per_update_sharded = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t segments = 0;
+  bool parity_ok = false;
+  double WireRatio() const {
+    return wire_sharded > 0
+               ? static_cast<double>(wire_replicated) / static_cast<double>(wire_sharded)
+               : 0.0;
+  }
+  double ResidentRatio() const {
+    return resident_sharded > 0 ? static_cast<double>(resident_replicated) /
+                                      static_cast<double>(resident_sharded)
+                                : 0.0;
+  }
+};
+
+// The protocol-shaped per-page mix (see file comment). Returns updates
+// issued and wall-clock ns; wire bytes accumulate in the hub.
+std::uint64_t DriveWorkload(DirectoryBackend& dir, const Config& cfg, std::size_t touched,
+                            std::size_t stride, std::uint64_t* wall_ns) {
+  const int units = cfg.units();
+  std::uint64_t updates = 0;
+  std::uint32_t snapshot[kMaxProcs];
+  UnitId sharers[kMaxProcs];
+  DirWord read_w;
+  read_w.perm = Perm::kRead;
+  DirWord rw_w;
+  rw_w.perm = Perm::kReadWrite;
+  const std::uint64_t t0 = NowNs();
+  for (std::size_t i = 0; i < touched; ++i) {
+    const PageId page = static_cast<PageId>((i * stride) % cfg.pages());
+    for (UnitId u = 0; u < units; ++u) {
+      dir.Write(page, u, read_w);
+      ++updates;
+    }
+    const UnitId claimant = static_cast<UnitId>(page % static_cast<PageId>(units));
+    if (!dir.AnyOtherSharer(page, claimant)) {
+      // Unreached under this mix (every page has sharers); kept so the
+      // cached gate query is exercised the way the fault path uses it.
+      continue;
+    }
+    DirWord claim = rw_w;
+    claim.exclusive = true;
+    dir.WriteAndSnapshot(page, claimant, claim, snapshot);
+    ++updates;
+    dir.Write(page, claimant, rw_w);  // withdraw: other sharers exist
+    ++updates;
+    const UnitId releaser = static_cast<UnitId>((page + 1) % static_cast<PageId>(units));
+    dir.Sharers(page, releaser, sharers);
+    for (UnitId u = 0; u < units; ++u) {
+      dir.Write(page, u, rw_w);
+      dir.Write(page, u, read_w);
+      updates += 2;
+    }
+  }
+  *wall_ns = NowNs() - t0;
+  return updates;
+}
+
+// Both backends must agree on the authoritative view after the same mix.
+bool CrossCheck(DirectoryBackend& a, DirectoryBackend& b, const Config& cfg,
+                std::size_t touched, std::size_t stride) {
+  const int units = cfg.units();
+  UnitId sa[kMaxProcs];
+  UnitId sb[kMaxProcs];
+  const std::size_t step = touched > 64 ? touched / 64 : 1;
+  for (std::size_t i = 0; i < touched; i += step) {
+    const PageId page = static_cast<PageId>((i * stride) % cfg.pages());
+    const int na = a.Sharers(page, -1, sa);
+    const int nb = b.Sharers(page, -1, sb);
+    if (na != nb) {
+      return false;
+    }
+    for (int k = 0; k < na; ++k) {
+      if (sa[k] != sb[k]) {
+        return false;
+      }
+    }
+    for (UnitId u = 0; u < units; ++u) {
+      if (a.Read(page, u).Pack() != b.Read(page, u).Pack()) {
+        return false;
+      }
+      if (a.ExclusiveHolderFresh(page, u) != b.ExclusiveHolderFresh(page, u)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+CellResult RunCell(std::size_t pages, int units) {
+  Config cfg = UnitsConfig(units, pages);
+  cfg.Validate();
+
+  CellResult cell;
+  cell.pages = pages;
+  cell.units = units;
+  // Sparse touch, protocol-realistic for a large arena: a working set of
+  // at most 8192 pages strided across the arena (so it spans superpages
+  // and shard segments rather than one dense run).
+  cell.touched = pages < 8192 ? pages : 8192;
+  const std::size_t stride = pages / cell.touched > 0 ? pages / cell.touched : 1;
+
+  McHub rep_hub(cfg.units());
+  Config rep_cfg = cfg;
+  rep_cfg.dir.mode = DirMode::kReplicated;
+  GlobalDirectory replicated(rep_cfg, rep_hub);
+  std::uint64_t rep_ns = 0;
+  cell.updates = DriveWorkload(replicated, cfg, cell.touched, stride, &rep_ns);
+  cell.wire_replicated = rep_hub.BytesSent(Traffic::kDirectory);
+  cell.resident_replicated = replicated.ResidentBytes();
+  cell.ns_per_update_replicated =
+      static_cast<double>(rep_ns) / static_cast<double>(cell.updates);
+
+  McHub shard_hub(cfg.units());
+  Config shard_cfg = cfg;
+  shard_cfg.dir.mode = DirMode::kSharded;
+  HomeTable homes(shard_cfg);
+  ShardedDirectory sharded(shard_cfg, shard_hub, homes);
+  std::uint64_t shard_ns = 0;
+  DriveWorkload(sharded, cfg, cell.touched, stride, &shard_ns);
+  cell.wire_sharded = shard_hub.BytesSent(Traffic::kDirectory);
+  cell.resident_sharded = sharded.ResidentBytes();
+  cell.ns_per_update_sharded =
+      static_cast<double>(shard_ns) / static_cast<double>(cell.updates);
+  cell.cache_hits = sharded.CacheHits();
+  cell.segments = sharded.SegmentsAllocated();
+
+  cell.parity_ok = CrossCheck(replicated, sharded, cfg, cell.touched, stride);
+  return cell;
+}
+
+int RunBench(bool small, const std::string& json_path) {
+  std::printf("Directory backends: replicated broadcast vs sharded point-to-point\n");
+  std::printf("================================================================\n\n");
+  std::printf("%9s %6s %8s %12s %12s %7s %11s %11s %8s %8s %8s %6s\n", "pages", "units",
+              "touched", "wireRep(B)", "wireShard(B)", "wire_x", "memRep(B)",
+              "memShard(B)", "mem_x", "ns/upR", "ns/upS", "ok");
+
+  const std::vector<std::size_t> page_sweep =
+      small ? std::vector<std::size_t>{1000, 10000}
+            : std::vector<std::size_t>{1000, 10000, 100000, 1000000};
+  const std::vector<int> unit_sweep = small ? std::vector<int>{4, 8} : std::vector<int>{4, 8, 16, 32};
+
+  std::vector<CellResult> cells;
+  for (const std::size_t pages : page_sweep) {
+    for (const int units : unit_sweep) {
+      cells.push_back(RunCell(pages, units));
+    }
+  }
+  // The gate cell (top of the sweep) always runs, --small included: the
+  // smoke run must exercise the same claim CI records.
+  cells.push_back(RunCell(1000000, 32));
+  const CellResult& top = cells.back();
+
+  bool parity_all = true;
+  for (const CellResult& c : cells) {
+    parity_all = parity_all && c.parity_ok;
+    std::printf("%9zu %6d %8zu %12llu %12llu %6.1fx %11zu %11zu %7.0fx %8.1f %8.1f %6s\n",
+                c.pages, c.units, c.touched, (unsigned long long)c.wire_replicated,
+                (unsigned long long)c.wire_sharded, c.WireRatio(), c.resident_replicated,
+                c.resident_sharded, c.ResidentRatio(), c.ns_per_update_replicated,
+                c.ns_per_update_sharded, c.parity_ok ? "yes" : "NO");
+  }
+
+  const bool wire_goal = top.WireRatio() >= 4.0;
+  const bool mem_goal = top.ResidentRatio() >= 10.0;
+  const bool pass = wire_goal && mem_goal && parity_all;
+  std::printf("\ntop of sweep (%zu pages, %d units): wire %.1fx (goal >= 4x), "
+              "memory %.0fx (goal >= 10x), parity %s\n",
+              top.pages, top.units, top.WireRatio(), top.ResidentRatio(),
+              parity_all ? "clean" : "BROKEN");
+  std::printf("%s\n", pass ? "PASS" : "FAIL");
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  std::string rows;
+  for (const CellResult& c : cells) {
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "    {\"pages\": %zu, \"units\": %d, \"touched\": %zu, "
+                  "\"updates\": %llu, \"wire_replicated\": %llu, \"wire_sharded\": %llu, "
+                  "\"wire_ratio\": %.2f, \"resident_replicated\": %zu, "
+                  "\"resident_sharded\": %zu, \"resident_ratio\": %.2f, "
+                  "\"ns_per_update_replicated\": %.1f, \"ns_per_update_sharded\": %.1f, "
+                  "\"cache_hits\": %llu, \"segments\": %llu, \"parity\": %s}",
+                  c.pages, c.units, c.touched, (unsigned long long)c.updates,
+                  (unsigned long long)c.wire_replicated, (unsigned long long)c.wire_sharded,
+                  c.WireRatio(), c.resident_replicated, c.resident_sharded, c.ResidentRatio(),
+                  c.ns_per_update_replicated, c.ns_per_update_sharded,
+                  (unsigned long long)c.cache_hits, (unsigned long long)c.segments,
+                  c.parity_ok ? "true" : "false");
+    if (!rows.empty()) {
+      rows += ",\n";
+    }
+    rows += row;
+  }
+  std::fprintf(f,
+               "{\n  \"cells\": [\n%s\n  ],\n"
+               "  \"gate\": {\"pages\": %zu, \"units\": %d, \"wire_ratio\": %.2f, "
+               "\"resident_ratio\": %.2f},\n"
+               "  \"meets_4x_wire_goal\": %s,\n  \"meets_10x_memory_goal\": %s,\n"
+               "  \"parity_all\": %s\n}\n",
+               rows.c_str(), top.pages, top.units, top.WireRatio(), top.ResidentRatio(),
+               wire_goal ? "true" : "false", mem_goal ? "true" : "false",
+               parity_all ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cashmere
+
+int main(int argc, char** argv) {
+  bool small = false;
+  std::string json_path = "BENCH_directory.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) {
+      small = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  return cashmere::RunBench(small, json_path);
+}

@@ -50,7 +50,8 @@ constexpr VariantFlag kVariantFlags[] = {
     {" run-hdrs", [](const Config& c) { return c.diff.charge_run_headers; }},
     {" trace", [](const Config& c) { return c.trace.enabled; }},
     {" no-perm-batch", [](const Config& c) { return !c.vm.batch_mprotect; }},
-    {" async-release", [](const Config& c) { return c.async.release; }},
+    {" dir-sharded", [](const Config& c) { return c.dir.mode == DirMode::kSharded; }},
+    {" async-release", [](const Config& c) { return c.AsyncRelease(); }},
 };
 
 }  // namespace

@@ -84,6 +84,32 @@ struct VmTuning {
   bool batch_mprotect = true;
 };
 
+// Global directory backend selection (protocol/directory.hpp,
+// protocol/directory_sharded.hpp, DESIGN.md §13).
+enum class DirMode : int {
+  // The paper's replicated directory: every unit holds a full replica
+  // (O(pages x units) words per node) and every update is an ordered MC
+  // broadcast. The default, byte-identical to the historical behaviour.
+  kReplicated = 0,
+  // Hash-sharded directory: each page's entry lives only on its shard
+  // owner (co-located with the HomeTable home), updates are point-to-point
+  // writes to that owner, readers go through a per-unit entry cache
+  // invalidated on write notices, and entry storage is lazily allocated in
+  // fixed-size segments (memory proportional to touched pages).
+  kSharded = 1,
+};
+
+struct DirTuning {
+  DirMode mode = DirMode::kReplicated;
+  // Sharded mode: per-unit directory-entry cache size (rounded up to a
+  // power of two; direct-mapped).
+  std::uint32_t cache_entries = 4096;
+  // Sharded mode: pages per lazily-allocated shard segment. Smaller
+  // segments track sparse touch patterns more tightly; larger ones
+  // amortize allocation.
+  std::uint32_t segment_pages = 64;
+};
+
 // Asynchronous release-path coherence (protocol/coherence_log.hpp,
 // DESIGN.md §12). Named `async` rather than the issue's `protocol.*`
 // spelling because Config::protocol is the variant enum.
@@ -91,8 +117,12 @@ struct AsyncTuning {
   // Publish release-path diff replay and write-notice posting into the
   // per-unit CoherenceLog, drained by a background cache-agent thread, and
   // gate acquires on the happens-before sequence vector instead of waiting
-  // for all in-flight traffic. Off = the historical synchronous release.
-  bool release = false;
+  // for all in-flight traffic. On by default for the lock-free two-level
+  // variants (2L, 2L-lock), where the pipeline has soaked through the TSan
+  // CI job and the bench_async_release gate; other variants ignore it (see
+  // Config::AsyncRelease). Set false to force the historical synchronous
+  // release path.
+  bool release = true;
   // CoherenceLog ring capacity (records per unit). A full ring back-
   // pressures the publisher, which spins until the agent catches up.
   std::uint32_t log_entries = 64;
@@ -132,6 +162,7 @@ struct Config {
   DiffTuning diff;
   TraceOptions trace;
   VmTuning vm;
+  DirTuning dir;
   AsyncTuning async;
   CostTuning cost;
 
@@ -155,12 +186,31 @@ struct Config {
   NodeId NodeOfProc(ProcId p) const { return p / procs_per_node; }
   ProcId FirstProcOfUnit(UnitId u) const { return u * procs_per_unit(); }
 
+  // Whether the async release-path pipeline is active for this run: the
+  // `async.release` switch applies to the lock-free two-level variants
+  // only. 2LS flushes synchronously by construction (shootdown + full-page
+  // overwrite), and the one-level protocols have not soaked with the
+  // agents, so they keep the synchronous release regardless of the switch.
+  bool AsyncRelease() const {
+    return async.release && (protocol == ProtocolVariant::kTwoLevel ||
+                             protocol == ProtocolVariant::kTwoLevelGlobalLock);
+  }
+
   void Validate() const {
-    CSM_CHECK(nodes >= 1 && nodes <= kMaxNodes);
-    CSM_CHECK(procs_per_node >= 1 && procs_per_node <= kMaxProcsPerNode);
+    // DirWord::Pack stores the exclusive-holder processor id in 6 bits
+    // (directory.hpp); a larger cluster would silently truncate the id and
+    // corrupt exclusive-holder identity, so reject it at config load,
+    // before the per-dimension caps (which may grow past it some day).
+    CSM_CHECK(nodes >= 1 && procs_per_node >= 1);
+    CSM_CHECK(total_procs() <= 64 &&
+              "DirWord::Pack holds excl_proc in 6 bits: at most 64 processors");
+    CSM_CHECK(nodes <= kMaxNodes);
+    CSM_CHECK(procs_per_node <= kMaxProcsPerNode);
     CSM_CHECK(heap_bytes % kPageBytes == 0);
     CSM_CHECK(heap_bytes >= kPageBytes);
     CSM_CHECK(superpage_pages >= 1);
+    CSM_CHECK(dir.cache_entries >= 1);
+    CSM_CHECK(dir.segment_pages >= 1);
   }
 
   std::string Describe() const;

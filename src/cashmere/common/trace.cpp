@@ -240,7 +240,7 @@ void WriteChromeTrace(const std::vector<TraceEvent>& merged, const Config& cfg,
   // Async mode: the per-unit cache agents emit with proc ids past the
   // processor range (total_procs + unit); give each its own named track on
   // its unit's node.
-  const int rows = cfg.total_procs() + (cfg.async.release ? cfg.units() : 0);
+  const int rows = cfg.total_procs() + (cfg.AsyncRelease() ? cfg.units() : 0);
   const auto pid_of = [&cfg](int proc) {
     if (proc < cfg.total_procs()) {
       return cfg.NodeOfProc(static_cast<ProcId>(proc));
@@ -248,7 +248,7 @@ void WriteChromeTrace(const std::vector<TraceEvent>& merged, const Config& cfg,
     const UnitId u = proc - cfg.total_procs();
     return cfg.NodeOfProc(cfg.FirstProcOfUnit(u));
   };
-  for (int u = 0; u < cfg.units() && cfg.async.release; ++u) {
+  for (int u = 0; u < cfg.units() && cfg.AsyncRelease(); ++u) {
     BeginRecord(out, &first);
     std::fprintf(out,
                  "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\","

@@ -55,7 +55,7 @@ TraceCheckResult CheckTrace(const std::vector<TraceEvent>& merged, const Config&
   const int procs = cfg.total_procs();
   // Async release mode adds one trace row per cache agent after the
   // processor rows; agent events are legal, not malformed.
-  const int rows = procs + (cfg.async.release ? cfg.units() : 0);
+  const int rows = procs + (cfg.AsyncRelease() ? cfg.units() : 0);
   std::vector<VirtTime> last_vt(static_cast<std::size_t>(rows), 0);
   std::vector<int> fault_depth(static_cast<std::size_t>(rows), 0);
   std::vector<int> barrier_depth(static_cast<std::size_t>(rows), 0);

@@ -113,25 +113,27 @@ Perm CashmereProtocol::ResolveQueuedPerm(void* self, ProcId proc, PageId page,
 // Directory helpers
 
 void CashmereProtocol::UpdateDirWord(Context& ctx, PageId page, DirWord word) {
+  DirWriteResult res;
   if (IsGlobalLock()) {
     SpinLockGuard guard(deps_.dir->EntryLock(page));
     // csm-lint: allow(raw-dir-write) -- UpdateDirWord IS the sanctioned
     // directory-write funnel; every fault/acquire-path caller routes here.
-    deps_.dir->Write(page, ctx.unit(), word);
+    res = deps_.dir->Write(page, ctx.unit(), word);
     ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
                        CostModel::UsToNs(cfg_.costs.dir_update_locked_us));
   } else {
     // csm-lint: allow(raw-dir-write) -- UpdateDirWord IS the sanctioned
     // directory-write funnel; every fault/acquire-path caller routes here.
-    deps_.dir->Write(page, ctx.unit(), word);
+    res = deps_.dir->Write(page, ctx.unit(), word);
     ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
                        CostModel::UsToNs(cfg_.costs.dir_update_us));
   }
   ctx.stats().Add(Counter::kDirectoryUpdates);
+  ctx.stats().Add(res.p2p ? Counter::kDirP2PUpdates : Counter::kDirBroadcastUpdates);
   if (TraceActive()) {
     UnitState& us = Unit(ctx.unit());
-    TraceEmit(EventKind::kDirUpdate, page, NextTraceSeq(us.Page(page)), word.Pack(),
-              us.Now());
+    TraceEmit(EventKind::kDirUpdate, page, NextTraceSeq(us.Page(page)),
+              DirUpdateTraceArg(word, res), us.Now());
   }
 }
 
@@ -311,7 +313,7 @@ bool CashmereProtocol::NeedFetch(const PageLocal& pl, UnitId unit, PageId page) 
   // before the access proceeds — even when a timestamp-valid local copy or
   // the master frame is at hand. The holder-at-master case is the one
   // exception for master-sharing units: they read the same frame.
-  const UnitId holder = deps_.dir->ExclusiveHolder(page);
+  const UnitId holder = deps_.dir->ExclusiveHolder(page, unit);
   if (holder >= 0 && holder != unit) {
     if (!(UnitAtMaster(unit, page) && UnitAtMaster(holder, page))) {
       return true;
@@ -413,6 +415,9 @@ void CashmereProtocol::BreakRemoteExclusive(Context& ctx, PageLocal& pl, PageId 
     // At the master copy the holder's break-time flush already updated our
     // frame; the piggybacked image is redundant.
   }
+  // The holder's directory downgrade just changed the entry: drop any
+  // cached image so subsequent holder queries refetch (sharded backend).
+  deps_.dir->InvalidateCached(ctx.unit(), page);
 }
 
 void CashmereProtocol::FetchPage(Context& ctx, PageLocal& pl, PageId page) {
@@ -447,7 +452,10 @@ void CashmereProtocol::FetchPage(Context& ctx, PageLocal& pl, PageId page) {
     }
   }
 
-  const UnitId holder = deps_.dir->ExclusiveHolder(page);
+  // Authoritative lookup: a cached "no holder" here could miss a claim
+  // that raced with our fault and leave the holder's modifications
+  // invisible (no write notices in exclusive mode), so re-read the entry.
+  const UnitId holder = deps_.dir->ExclusiveHolderFresh(page, ctx.unit());
   if (holder >= 0 && holder != ctx.unit()) {
     BreakRemoteExclusive(ctx, pl, page, holder);
     if (UnitAtMaster(ctx.unit(), page)) {
@@ -724,10 +732,12 @@ void CashmereProtocol::EnterExclusiveOrShare(Context& ctx, PageLocal& pl, PageId
     // csm-lint: allow(raw-dir-write) -- the exclusive-mode claim must be an
     // ordered write+snapshot on the fault path itself; it cannot ride the
     // coherence log (the race is resolved by MC write ordering, not HB).
-    deps_.dir->WriteAndSnapshot(page, ctx.unit(), claim, snapshot);
+    const DirWriteResult res = deps_.dir->WriteAndSnapshot(page, ctx.unit(), claim, snapshot);
     ctx.stats().Add(Counter::kDirectoryUpdates);
+    ctx.stats().Add(res.p2p ? Counter::kDirP2PUpdates : Counter::kDirBroadcastUpdates);
     if (TraceActive()) {
-      TraceEmit(EventKind::kDirUpdate, page, NextTraceSeq(pl), claim.Pack(), us.Now());
+      TraceEmit(EventKind::kDirUpdate, page, NextTraceSeq(pl),
+                DirUpdateTraceArg(claim, res), us.Now());
     }
     ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
                        CostModel::UsToNs(cfg_.costs.dir_update_us));
@@ -1189,6 +1199,9 @@ void CashmereProtocol::AcquireSync(Context& ctx) {
     deps_.notices->DrainGlobal(ctx.unit(), [&](PageId page) {
       PageLocal& pl = us.Page(page);
       SpinLockGuard guard(pl.lock);
+      // A write notice means the page's entry changed remotely: drop this
+      // unit's cached directory entry (no-op for the replicated backend).
+      deps_.dir->InvalidateCached(ctx.unit(), page);
       const std::uint64_t wn_ts = us.Now();
       pl.wn_ts.store(wn_ts, std::memory_order_release);
       if (TraceActive()) {
@@ -1337,7 +1350,9 @@ void CashmereProtocol::MaybeFirstTouch(Context& ctx, PageId page) {
     const PageId last = static_cast<PageId>(
         std::min<std::size_t>((sp + 1) * deps_.homes->superpage_pages(), cfg_.pages()));
     for (PageId page = first; page < last && !any_exclusive; ++page) {
-      any_exclusive = deps_.dir->ExclusiveHolder(page) >= 0;
+      // Authoritative: relocating under a missed exclusive holder would
+      // copy a stale master frame.
+      any_exclusive = deps_.dir->ExclusiveHolderFresh(page, ctx.unit()) >= 0;
     }
     if (!any_exclusive) {
       RelocateSuperpage(ctx, sp, ctx.unit());

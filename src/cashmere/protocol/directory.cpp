@@ -16,34 +16,41 @@ SpinLock& OrderLock() {
 }  // namespace
 
 GlobalDirectory::GlobalDirectory(const Config& cfg, McHub& hub)
-    : units_(cfg.units()),
+    : DirectoryBackend(cfg),
       hub_(hub),
-      words_(cfg.pages() * static_cast<std::size_t>(units_), 0),
-      entry_locks_(kNumEntryLocks) {}
+      words_(cfg.pages() * static_cast<std::size_t>(units_), 0) {}
 
-DirWord GlobalDirectory::Read(PageId page, UnitId unit) const {
+DirWord GlobalDirectory::Read(PageId page, UnitId unit) {
   return DirWord::Unpack(LoadWord32(WordPtr(page, unit)));
 }
 
-void GlobalDirectory::Write(PageId page, UnitId unit, DirWord word) {
+DirWriteResult GlobalDirectory::Write(PageId page, UnitId unit, DirWord word) {
   CsmAssertUnitWriter(unit, "GlobalDirectory::Write");
   SpinLockGuard guard(OrderLock());
   StoreWord32(WordPtr(page, unit), word.Pack());
   hub_.AccountWrite(Traffic::kDirectory, kWordBytes * static_cast<std::size_t>(units_));
+  DirWriteResult res;
+  res.wire_bytes = static_cast<std::uint32_t>(kWordBytes * static_cast<std::size_t>(units_));
+  res.p2p = false;
+  return res;
 }
 
-void GlobalDirectory::WriteAndSnapshot(PageId page, UnitId unit, DirWord word,
-                                       std::uint32_t* snapshot) const {
+DirWriteResult GlobalDirectory::WriteAndSnapshot(PageId page, UnitId unit, DirWord word,
+                                                 std::uint32_t* snapshot) {
   CsmAssertUnitWriter(unit, "GlobalDirectory::WriteAndSnapshot");
   SpinLockGuard guard(OrderLock());
-  StoreWord32(const_cast<std::uint32_t*>(WordPtr(page, unit)), word.Pack());
+  StoreWord32(WordPtr(page, unit), word.Pack());
   hub_.AccountWrite(Traffic::kDirectory, kWordBytes * static_cast<std::size_t>(units_));
   for (int u = 0; u < units_; ++u) {
     snapshot[u] = LoadWord32(WordPtr(page, u));
   }
+  DirWriteResult res;
+  res.wire_bytes = static_cast<std::uint32_t>(kWordBytes * static_cast<std::size_t>(units_));
+  res.p2p = false;
+  return res;
 }
 
-bool GlobalDirectory::AnyOtherSharer(PageId page, UnitId self) const {
+bool GlobalDirectory::AnyOtherSharer(PageId page, UnitId self) {
   for (int u = 0; u < units_; ++u) {
     if (u == self) {
       continue;
@@ -56,7 +63,7 @@ bool GlobalDirectory::AnyOtherSharer(PageId page, UnitId self) const {
   return false;
 }
 
-UnitId GlobalDirectory::ExclusiveHolder(PageId page) const {
+UnitId GlobalDirectory::ExclusiveHolder(PageId page, UnitId /*reader*/) {
   for (int u = 0; u < units_; ++u) {
     if (Read(page, u).exclusive) {
       return u;
@@ -65,7 +72,7 @@ UnitId GlobalDirectory::ExclusiveHolder(PageId page) const {
   return -1;
 }
 
-int GlobalDirectory::Sharers(PageId page, UnitId exclude, UnitId* out) const {
+int GlobalDirectory::Sharers(PageId page, UnitId exclude, UnitId* out) {
   int n = 0;
   for (int u = 0; u < units_; ++u) {
     if (u == exclude) {

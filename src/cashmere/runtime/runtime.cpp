@@ -17,8 +17,8 @@ namespace cashmere {
 Runtime::Runtime(Config cfg, SyncShape sync)
     : cfg_(std::move(cfg)),
       hub_(cfg_.units()),
-      dir_((cfg_.Validate(), cfg_), hub_),
-      homes_(cfg_),
+      homes_(((void)cfg_.Validate(), cfg_)),
+      dir_(MakeDirectory(cfg_, hub_, homes_)),
       notices_(cfg_, hub_),
       msg_(cfg_),
       heap_(cfg_.heap_bytes) {
@@ -62,14 +62,14 @@ Runtime::Runtime(Config cfg, SyncShape sync)
   deps.cfg = &cfg_;
   deps.hub = &hub_;
   deps.msg = &msg_;
-  deps.dir = &dir_;
+  deps.dir = dir_.get();
   deps.homes = &homes_;
   deps.notices = &notices_;
   deps.arenas = &arenas_;
   deps.views = &views_;
   deps.twins = &twins_;
   deps.units = &units_;
-  if (cfg_.async.release) {
+  if (cfg_.AsyncRelease()) {
     coh_ = std::make_unique<CoherenceEngine>(cfg_);
     deps.coh = coh_.get();
   }
@@ -93,7 +93,7 @@ Runtime::Runtime(Config cfg, SyncShape sync)
     // One ring per processor, plus one per cache agent in async mode
     // (rings [total_procs, total_procs + units)).
     const int rings =
-        cfg_.total_procs() + (cfg_.async.release ? cfg_.units() : 0);
+        cfg_.total_procs() + (cfg_.AsyncRelease() ? cfg_.units() : 0);
     trace_log_ = std::make_unique<TraceLog>(rings, cfg_.trace.ring_events);
   }
 
@@ -451,6 +451,11 @@ void Runtime::Run(const std::function<void(Context&)>& body) {
     }
   }
   report_.total.counts[static_cast<int>(Counter::kDataBytes)] = hub_.DataBytes();
+  // Backend-global directory instrumentation (cumulative across Runs, like
+  // the hub byte counters above).
+  report_.total.counts[static_cast<int>(Counter::kDirCacheHits)] = dir_->CacheHits();
+  report_.total.counts[static_cast<int>(Counter::kDirSegmentsAllocated)] =
+      dir_->SegmentsAllocated();
   report_.exec_time_ns = *std::max_element(final_vt.begin(), final_vt.end());
 }
 

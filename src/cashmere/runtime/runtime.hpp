@@ -117,8 +117,10 @@ class Runtime : public FaultSink {
   std::vector<std::unique_ptr<View>> views_;      // per processor
   std::vector<std::unique_ptr<TwinPool>> twins_;  // per unit
   std::vector<std::unique_ptr<UnitState>> units_;
-  GlobalDirectory dir_;
+  // homes_ precedes dir_: the sharded backend reads shard ownership from
+  // the home table (MakeDirectory takes it by reference at construction).
   HomeTable homes_;
+  std::unique_ptr<DirectoryBackend> dir_;
   WriteNoticeBoard notices_;
   MessageLayer msg_;
   // Async release-path coherence (cfg.async.release): per-unit logs; the

@@ -1,11 +1,16 @@
-// Unit tests for the lock-free global directory and the home table.
+// Unit tests for the directory backends (replicated and sharded) and the
+// home table. The backend tests are parameterized over Config::dir.mode so
+// both implementations prove the same contract; sharded-only behavior
+// (lazy segments, entry cache, shard ownership) gets its own suite.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 
 #include "cashmere/mc/hub.hpp"
 #include "cashmere/protocol/directory.hpp"
+#include "cashmere/protocol/directory_sharded.hpp"
 #include "cashmere/protocol/home_table.hpp"
 
 namespace cashmere {
@@ -18,6 +23,20 @@ Config DirConfig(int nodes = 4, int ppn = 2) {
   cfg.heap_bytes = 32 * kPageBytes;
   cfg.superpage_pages = 8;
   return cfg;
+}
+
+DirWord ReadWord() {
+  DirWord w;
+  w.perm = Perm::kRead;
+  return w;
+}
+
+DirWord ExclWord(ProcId proc) {
+  DirWord w;
+  w.perm = Perm::kReadWrite;
+  w.exclusive = true;
+  w.excl_proc = proc;
+  return w;
 }
 
 TEST(DirWordTest, PackUnpackRoundTrip) {
@@ -37,77 +56,119 @@ TEST(DirWordTest, PackUnpackRoundTrip) {
   }
 }
 
-TEST(GlobalDirectoryTest, WriteAndReadPerUnitWords) {
-  Config cfg = DirConfig();
-  McHub hub(cfg.units());
-  GlobalDirectory dir(cfg, hub);
-  DirWord w;
-  w.perm = Perm::kReadWrite;
-  dir.Write(3, 1, w);
-  EXPECT_EQ(dir.Read(3, 1).perm, Perm::kReadWrite);
-  EXPECT_EQ(dir.Read(3, 0).perm, Perm::kInvalid);
-  EXPECT_EQ(dir.Read(2, 1).perm, Perm::kInvalid);
+TEST(DirUpdateTraceArgTest, EncodesModeAndBytes) {
+  DirWord w = ExclWord(5);
+  DirWriteResult broadcast;
+  broadcast.wire_bytes = 16;
+  broadcast.p2p = false;
+  DirWriteResult p2p;
+  p2p.wire_bytes = 4;
+  p2p.p2p = true;
+
+  const std::uint32_t a0b = DirUpdateTraceArg(w, broadcast);
+  EXPECT_EQ(a0b & 0x7fffu, w.Pack());
+  EXPECT_FALSE(DecodeDirUpdateTraceArg(a0b).p2p);
+  EXPECT_EQ(DecodeDirUpdateTraceArg(a0b).wire_bytes, 16u);
+
+  const std::uint32_t a0p = DirUpdateTraceArg(w, p2p);
+  EXPECT_EQ(a0p & 0x7fffu, w.Pack());
+  EXPECT_TRUE(DecodeDirUpdateTraceArg(a0p).p2p);
+  EXPECT_EQ(DecodeDirUpdateTraceArg(a0p).wire_bytes, 4u);
 }
 
-TEST(GlobalDirectoryTest, SharersAndExclusiveQueries) {
-  Config cfg = DirConfig();
-  McHub hub(cfg.units());
-  GlobalDirectory dir(cfg, hub);
-  DirWord ro;
-  ro.perm = Perm::kRead;
-  DirWord ex;
-  ex.perm = Perm::kReadWrite;
-  ex.exclusive = true;
-  ex.excl_proc = 5;
-  dir.Write(0, 1, ro);
-  dir.Write(0, 2, ex);
+TEST(ConfigValidateTest, RejectsClustersOverSixtyFourProcessors) {
+  Config cfg = DirConfig(/*nodes=*/100, /*ppn=*/1);
+  EXPECT_DEATH(cfg.Validate(), "excl_proc in 6 bits");
+}
 
-  EXPECT_TRUE(dir.AnyOtherSharer(0, 0));
-  EXPECT_TRUE(dir.AnyOtherSharer(0, 1));
-  EXPECT_FALSE(dir.AnyOtherSharer(5, 0));
-  EXPECT_EQ(dir.ExclusiveHolder(0), 2);
-  EXPECT_EQ(dir.ExclusiveHolder(1), -1);
+// --- Parameterized contract tests: both backends ---------------------------
+
+class DirectoryBackendTest : public ::testing::TestWithParam<DirMode> {
+ protected:
+  void Init(Config cfg) {
+    cfg.dir.mode = GetParam();
+    cfg_ = cfg;
+    hub_ = std::make_unique<McHub>(cfg_.units());
+    homes_ = std::make_unique<HomeTable>(cfg_);
+    dir_ = MakeDirectory(cfg_, *hub_, *homes_);
+  }
+
+  Config cfg_;
+  std::unique_ptr<McHub> hub_;
+  std::unique_ptr<HomeTable> homes_;
+  std::unique_ptr<DirectoryBackend> dir_;
+};
+
+TEST_P(DirectoryBackendTest, WriteAndReadPerUnitWords) {
+  Init(DirConfig());
+  DirWord w;
+  w.perm = Perm::kReadWrite;
+  dir_->Write(3, 1, w);
+  EXPECT_EQ(dir_->Read(3, 1).perm, Perm::kReadWrite);
+  EXPECT_EQ(dir_->Read(3, 0).perm, Perm::kInvalid);
+  EXPECT_EQ(dir_->Read(2, 1).perm, Perm::kInvalid);
+}
+
+TEST_P(DirectoryBackendTest, SharersAndExclusiveQueries) {
+  Init(DirConfig());
+  dir_->Write(0, 1, ReadWord());
+  dir_->Write(0, 2, ExclWord(5));
+
+  EXPECT_TRUE(dir_->AnyOtherSharer(0, 0));
+  EXPECT_TRUE(dir_->AnyOtherSharer(0, 1));
+  EXPECT_FALSE(dir_->AnyOtherSharer(5, 0));
+  EXPECT_EQ(dir_->ExclusiveHolder(0, 0), 2);
+  EXPECT_EQ(dir_->ExclusiveHolder(1, 0), -1);
+  EXPECT_EQ(dir_->ExclusiveHolderFresh(0, 3), 2);
 
   UnitId sharers[kMaxProcs];
-  const int n = dir.Sharers(0, /*exclude=*/1, sharers);
+  const int n = dir_->Sharers(0, /*exclude=*/1, sharers);
   ASSERT_EQ(n, 1);
   EXPECT_EQ(sharers[0], 2);
 }
 
-TEST(GlobalDirectoryTest, ConcurrentExclusiveClaimsAtMostOneWinner) {
+TEST_P(DirectoryBackendTest, WriteResultShapeMatchesMode) {
+  Init(DirConfig());
+  // Page 0's shard owner is unit 0 (round-robin homes): a write by unit 0
+  // is owner-local in sharded mode, a write by unit 1 crosses the wire.
+  const DirWriteResult local = dir_->Write(0, 0, ReadWord());
+  const DirWriteResult remote = dir_->Write(0, 1, ReadWord());
+  if (GetParam() == DirMode::kSharded) {
+    EXPECT_TRUE(local.p2p);
+    EXPECT_TRUE(remote.p2p);
+    EXPECT_EQ(local.wire_bytes, 0u);
+    EXPECT_EQ(remote.wire_bytes, kWordBytes);
+  } else {
+    EXPECT_FALSE(local.p2p);
+    EXPECT_FALSE(remote.p2p);
+    const auto broadcast = static_cast<std::uint32_t>(kWordBytes * cfg_.units());
+    EXPECT_EQ(local.wire_bytes, broadcast);
+    EXPECT_EQ(remote.wire_bytes, broadcast);
+  }
+}
+
+TEST_P(DirectoryBackendTest, SnapshotReflectsPriorWrites) {
+  Init(DirConfig());
+  dir_->Write(4, 2, ReadWord());
+  std::uint32_t snap[kMaxProcs];
+  dir_->WriteAndSnapshot(4, 0, ExclWord(0), snap);
+  EXPECT_EQ(DirWord::Unpack(snap[0]).exclusive, true);
+  EXPECT_EQ(DirWord::Unpack(snap[2]).perm, Perm::kRead);
+  EXPECT_EQ(DirWord::Unpack(snap[1]).perm, Perm::kInvalid);
+}
+
+TEST_P(DirectoryBackendTest, ConcurrentExclusiveClaimsAtMostOneWinner) {
   // The WriteAndSnapshot arbitration: of two units claiming exclusivity,
   // at most one can see a snapshot with no other sharer.
   for (int round = 0; round < 100; ++round) {
-    Config cfg = DirConfig();
-    McHub hub(cfg.units());
-    GlobalDirectory dir(cfg, hub);
+    Init(DirConfig());
     std::atomic<int> winners{0};
-    std::thread t1([&] {
-      DirWord claim;
-      claim.perm = Perm::kReadWrite;
-      claim.exclusive = true;
+    auto claimant = [&](UnitId unit) {
       std::uint32_t snap[kMaxProcs];
-      dir.WriteAndSnapshot(9, 0, claim, snap);
+      dir_->WriteAndSnapshot(9, unit, ExclWord(0), snap);
       bool alone = true;
-      for (int u = 1; u < cfg.units(); ++u) {
-        const DirWord w = DirWord::Unpack(snap[u]);
-        if (w.perm != Perm::kInvalid || w.exclusive) {
-          alone = false;
-        }
-      }
-      if (alone) {
-        winners.fetch_add(1);
-      }
-    });
-    std::thread t2([&] {
-      DirWord claim;
-      claim.perm = Perm::kReadWrite;
-      claim.exclusive = true;
-      std::uint32_t snap[kMaxProcs];
-      dir.WriteAndSnapshot(9, 1, claim, snap);
-      bool alone = true;
-      for (int u = 0; u < cfg.units(); ++u) {
-        if (u == 1) {
+      for (int u = 0; u < cfg_.units(); ++u) {
+        if (u == unit) {
           continue;
         }
         const DirWord w = DirWord::Unpack(snap[u]);
@@ -118,12 +179,155 @@ TEST(GlobalDirectoryTest, ConcurrentExclusiveClaimsAtMostOneWinner) {
       if (alone) {
         winners.fetch_add(1);
       }
-    });
+    };
+    std::thread t1(claimant, 0);
+    std::thread t2(claimant, 1);
     t1.join();
     t2.join();
     EXPECT_LE(winners.load(), 1);
   }
 }
+
+std::string ModeName(const ::testing::TestParamInfo<DirMode>& info) {
+  return info.param == DirMode::kSharded ? "Sharded" : "Replicated";
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, DirectoryBackendTest,
+                         ::testing::Values(DirMode::kReplicated, DirMode::kSharded),
+                         ModeName);
+
+// --- Sharded-only behavior --------------------------------------------------
+
+class ShardedDirectoryTest : public ::testing::Test {
+ protected:
+  void Init(Config cfg) {
+    cfg.dir.mode = DirMode::kSharded;
+    cfg_ = cfg;
+    hub_ = std::make_unique<McHub>(cfg_.units());
+    homes_ = std::make_unique<HomeTable>(cfg_);
+    dir_ = std::make_unique<ShardedDirectory>(cfg_, *hub_, *homes_);
+  }
+
+  Config cfg_;
+  std::unique_ptr<McHub> hub_;
+  std::unique_ptr<HomeTable> homes_;
+  std::unique_ptr<ShardedDirectory> dir_;
+};
+
+TEST_F(ShardedDirectoryTest, SegmentsAllocateLazily) {
+  Config cfg = DirConfig();
+  cfg.dir.segment_pages = 4;
+  Init(cfg);
+  EXPECT_EQ(dir_->SegmentsAllocated(), 0u);
+  const std::size_t untouched = dir_->ResidentBytes();
+
+  dir_->Write(0, 0, ReadWord());
+  EXPECT_EQ(dir_->SegmentsAllocated(), 1u);
+  dir_->Write(1, 0, ReadWord());  // same segment as page 0
+  EXPECT_EQ(dir_->SegmentsAllocated(), 1u);
+  dir_->Write(17, 0, ReadWord());  // pages [16, 20): a new segment
+  EXPECT_EQ(dir_->SegmentsAllocated(), 2u);
+
+  const std::size_t per_segment =
+      static_cast<std::size_t>(cfg.dir.segment_pages) * cfg_.units() * kWordBytes;
+  EXPECT_EQ(dir_->ResidentBytes(), untouched + 2 * per_segment);
+
+  // Reads of never-touched pages see all-invalid words and allocate nothing.
+  EXPECT_EQ(dir_->Read(25, 0).perm, Perm::kInvalid);
+  EXPECT_FALSE(dir_->AnyOtherSharer(25, 0));
+  EXPECT_EQ(dir_->SegmentsAllocated(), 2u);
+}
+
+TEST_F(ShardedDirectoryTest, ShardedResidentBytesBeatReplicatedOnSparseTouch) {
+  // The memory win is a large-arena property: segments scale with touched
+  // pages while the replicated backend pays pages x units on every unit.
+  Config cfg = DirConfig();
+  cfg.heap_bytes = std::size_t{1} << 25;  // 4096 pages
+  cfg.dir.cache_entries = 64;
+  Init(cfg);
+  McHub rep_hub(cfg_.units());
+  Config rep_cfg = cfg_;
+  GlobalDirectory replicated(rep_cfg, rep_hub);
+  dir_->Write(0, 0, ReadWord());  // touch one segment
+  EXPECT_LT(dir_->ResidentBytes(), replicated.ResidentBytes());
+}
+
+TEST_F(ShardedDirectoryTest, CachedQueriesServeHitsUntilInvalidated) {
+  Init(DirConfig());
+  const PageId page = 3;
+
+  dir_->Write(page, 1, ReadWord());
+  // First query from unit 0 misses and fills; the second hits.
+  EXPECT_TRUE(dir_->AnyOtherSharer(page, 0));
+  const std::uint64_t misses = dir_->CacheMisses();
+  EXPECT_TRUE(dir_->AnyOtherSharer(page, 0));
+  EXPECT_EQ(dir_->CacheMisses(), misses);
+  EXPECT_GE(dir_->CacheHits(), 1u);
+
+  // Unit 1 leaves the sharing set; unit 0's cached entry is stale (allowed
+  // by the freshness contract) until the write-notice path invalidates it.
+  DirWord gone;
+  dir_->Write(page, 1, gone);
+  EXPECT_TRUE(dir_->AnyOtherSharer(page, 0));  // stale cached answer
+  dir_->InvalidateCached(0, page);
+  EXPECT_FALSE(dir_->AnyOtherSharer(page, 0));  // refetched, fresh
+}
+
+TEST_F(ShardedDirectoryTest, ExclusiveHolderFreshBypassesStaleCache) {
+  Init(DirConfig());
+  const PageId page = 9;
+  EXPECT_EQ(dir_->ExclusiveHolder(page, 0), -1);  // caches the empty entry
+  dir_->Write(page, 2, ExclWord(5));
+  // The cached query may still say "no holder"; the fresh one must not.
+  EXPECT_EQ(dir_->ExclusiveHolderFresh(page, 0), 2);
+  // And the fresh lookup refreshed the cache for subsequent cached queries.
+  EXPECT_EQ(dir_->ExclusiveHolder(page, 0), 2);
+}
+
+TEST_F(ShardedDirectoryTest, OwnWordReadsStayExactThroughCache) {
+  Init(DirConfig());
+  const PageId page = 6;
+  EXPECT_EQ(dir_->Read(page, 0).perm, Perm::kInvalid);  // caches the entry
+  dir_->Write(page, 0, ReadWord());
+  // Write-through: the unit's own word is exact even on a cache hit.
+  EXPECT_EQ(dir_->Read(page, 0).perm, Perm::kRead);
+}
+
+TEST_F(ShardedDirectoryTest, SharersIsAuthoritativeDespiteStaleCache) {
+  Init(DirConfig());
+  const PageId page = 2;
+  UnitId sharers[kMaxProcs];
+  EXPECT_EQ(dir_->Sharers(page, 0, sharers), 0);  // also seeds nothing
+  EXPECT_FALSE(dir_->AnyOtherSharer(page, 0));    // caches the empty entry
+  dir_->Write(page, 3, ReadWord());
+  // The cached query is allowed to be stale; the release-path query is not.
+  const int n = dir_->Sharers(page, 0, sharers);
+  ASSERT_EQ(n, 1);
+  EXPECT_EQ(sharers[0], 3);
+}
+
+TEST_F(ShardedDirectoryTest, ShardOwnershipFollowsHomeRelocation) {
+  Config cfg = DirConfig(4, 1);  // 4 units, superpages of 8 pages
+  Init(cfg);
+  const PageId page = 17;  // superpage 2
+  EXPECT_EQ(dir_->ShardOwner(page), homes_->HomeOfPage(page));
+  EXPECT_EQ(dir_->ShardOwner(page), 2);
+
+  homes_->GlobalLock().Lock();
+  homes_->Relocate(2, 3);
+  homes_->GlobalLock().Unlock();
+  EXPECT_EQ(dir_->ShardOwner(page), 3);
+  EXPECT_EQ(dir_->ShardOwner(page), homes_->HomeOfPage(page));
+
+  // The entry is reachable across the move, and updates from the new owner
+  // are now owner-local (no wire bytes).
+  dir_->Write(page, 3, ReadWord());
+  const DirWriteResult res = dir_->Write(page, 3, ReadWord());
+  EXPECT_EQ(res.wire_bytes, 0u);
+  EXPECT_TRUE(dir_->AnyOtherSharer(page, 0));
+}
+
+// --- Home table -------------------------------------------------------------
 
 TEST(HomeTableTest, RoundRobinInitialAssignment) {
   Config cfg = DirConfig(4, 1);  // 4 units

@@ -1,0 +1,46 @@
+// Known-bad fixture: raw entry-word stores inside the sharded directory
+// backend, outside the DirectoryBackend Write/WriteAndSnapshot funnel. The
+// sharded entry lives on its shard owner and every mutation must execute
+// inside the entry's MC write order (the order-lock stripe) so a
+// concurrent claimant's snapshot arbitrates correctly; a stray
+// StoreWord32 into a segment bypasses that ordering. The two funnel
+// stores in directory_sharded.cpp carry explicit waivers.
+//
+// csm-lint-domain: dir-sharded
+// csm-lint-expect: raw-dir-write
+// csm-lint-expect: raw-dir-write
+#include <cstdint>
+
+namespace fixture {
+
+// csm-lint: allow(raw-dir-write) -- fixture scaffolding: the helper's own
+// definition, not a store into an entry
+inline void StoreWord32(std::uint32_t* p, std::uint32_t v) { *p = v; }
+inline std::uint32_t LoadWord32(const std::uint32_t* p) { return *p; }
+
+void BadDirectSegmentStore(std::uint32_t* segment, std::size_t slot) {
+  // A helper mutating entry words without taking the entry's order lock.
+  StoreWord32(&segment[slot], 0x7u);
+}
+
+void BadCacheWriteback(std::uint32_t* segment, const std::uint32_t* cached,
+                       std::size_t slot) {
+  // "Flushing" a cached word back to the owner-side entry is still a raw
+  // mutation outside the funnel.
+  StoreWord32(&segment[slot], LoadWord32(&cached[slot]));
+}
+
+std::uint32_t OkEntryRead(const std::uint32_t* segment, std::size_t slot) {
+  // Reads are word-atomic and lock-free; only stores are findings.
+  return LoadWord32(&segment[slot]);
+}
+
+void OkWaivedFunnelStore(std::uint32_t* segment, std::size_t slot) {
+  // csm-lint: allow(raw-dir-write) -- fixture copy of the Write funnel store
+  StoreWord32(&segment[slot], 0x3u);
+}
+
+// Mentions in comments (StoreWord32(...)) and strings must not count:
+const char* kDoc = "entry stores go through StoreWord32( inside the funnel )";
+
+}  // namespace fixture

@@ -30,7 +30,8 @@ using namespace cashmere;
                "usage: %s --app <%s>\n"
                "          [--protocol 2L|2LS|2L-lock|1LD|1L] [--procs N] [--ppn N]\n"
                "          [--size test|bench|large] [--home-opt] [--interrupts]\n"
-               "          [--no-first-touch] [--async] [--cost-scale auto|<float>]\n"
+               "          [--no-first-touch] [--async] [--no-async]\n"
+               "          [--dir replicated|sharded] [--cost-scale auto|<float>]\n"
                "          [--list]\n",
                argv0, names.c_str());
   std::exit(2);
@@ -93,6 +94,17 @@ int main(int argc, char** argv) {
       cfg.first_touch = false;
     } else if (arg == "--async") {
       cfg.async.release = true;
+    } else if (arg == "--no-async") {
+      cfg.async.release = false;
+    } else if (arg == "--dir") {
+      const std::string s = next();
+      if (s == "sharded") {
+        cfg.dir.mode = DirMode::kSharded;
+      } else if (s == "replicated") {
+        cfg.dir.mode = DirMode::kReplicated;
+      } else {
+        Usage(argv[0]);
+      }
     } else if (arg == "--cost-scale") {
       const std::string s = next();
       cfg.cost.scale = s == "auto" ? 0.0 : std::atof(s.c_str());

@@ -16,8 +16,10 @@
 //   cashmere_trace contention --app SOR [--top 10] [...run options...]
 //
 // Page contention ranks by protocol traffic per page (faults + transfers +
-// diffs + write notices); lock contention ranks by acquire count and the
-// number of distinct acquiring processors.
+// diffs + write notices); per-page directory-update columns break the
+// page's directory traffic into broadcast vs point-to-point updates and
+// wire bytes (decoded from kDirUpdate's a0). Lock contention ranks by
+// acquire count and the number of distinct acquiring processors.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +30,7 @@
 
 #include "cashmere/apps/app.hpp"
 #include "cashmere/common/trace_check.hpp"
+#include "cashmere/protocol/directory.hpp"
 
 namespace {
 
@@ -45,6 +48,7 @@ using namespace cashmere;
                "usage: %s [contention] --app <%s>\n"
                "          [--protocol 2L|2LS|2L-lock|1LD|1L] [--procs N] [--ppn N]\n"
                "          [--size test|bench|large] [--ring-events N] [--async]\n"
+               "          [--no-async] [--dir replicated|sharded]\n"
                "          [--json <file>] [--no-check] [--top N]\n",
                argv0, names.c_str());
   std::exit(2);
@@ -58,6 +62,9 @@ struct PageContention {
   std::uint64_t transfers = 0;  // kPageCopy
   std::uint64_t diffs = 0;      // kDiffApplyIncoming + kDiffApplyOutgoing
   std::uint64_t notices = 0;    // kWnPost
+  std::uint64_t dir_bcast = 0;  // kDirUpdate, broadcast (replicated backend)
+  std::uint64_t dir_p2p = 0;    // kDirUpdate, point-to-point (sharded)
+  std::uint64_t dir_bytes = 0;  // directory wire bytes for this page
   std::uint64_t procs = 0;      // distinct rows that faulted on the page
   std::uint64_t total() const { return faults + transfers + diffs + notices; }
 };
@@ -105,6 +112,15 @@ void ReportContention(const std::vector<TraceEvent>& merged, int top) {
         if (e.page != kNoTracePage) {
           pages[e.page].page = e.page;
           ++pages[e.page].notices;
+        }
+        break;
+      case EventKind::kDirUpdate:
+        if (e.page != kNoTracePage) {
+          PageContention& pc = pages[e.page];
+          pc.page = e.page;
+          const DirUpdateTraceInfo info = DecodeDirUpdateTraceArg(e.a0);
+          ++(info.p2p ? pc.dir_p2p : pc.dir_bcast);
+          pc.dir_bytes += info.wire_bytes;
         }
         break;
       case EventKind::kLockAcquire: {
@@ -155,15 +171,18 @@ void ReportContention(const std::vector<TraceEvent>& merged, int top) {
             });
 
   std::printf("\ntop %d contended pages (of %zu with traffic):\n", top, page_rank.size());
-  std::printf("  %-8s %8s %8s %8s %8s %8s %8s\n", "page", "total", "faults", "copies",
-              "diffs", "notices", "procs");
+  std::printf("  %-8s %8s %8s %8s %8s %8s %8s %8s %9s %8s\n", "page", "total",
+              "faults", "copies", "diffs", "notices", "dirBcast", "dirP2P",
+              "dirBytes", "procs");
   for (std::size_t i = 0; i < page_rank.size() && i < static_cast<std::size_t>(top);
        ++i) {
     const PageContention& pc = page_rank[i];
-    std::printf("  %-8u %8llu %8llu %8llu %8llu %8llu %8llu\n", pc.page,
-                (unsigned long long)pc.total(), (unsigned long long)pc.faults,
+    std::printf("  %-8u %8llu %8llu %8llu %8llu %8llu %8llu %8llu %9llu %8llu\n",
+                pc.page, (unsigned long long)pc.total(), (unsigned long long)pc.faults,
                 (unsigned long long)pc.transfers, (unsigned long long)pc.diffs,
-                (unsigned long long)pc.notices, (unsigned long long)pc.procs);
+                (unsigned long long)pc.notices, (unsigned long long)pc.dir_bcast,
+                (unsigned long long)pc.dir_p2p, (unsigned long long)pc.dir_bytes,
+                (unsigned long long)pc.procs);
   }
   std::printf("\ntop %d contended locks (of %zu acquired):\n", top, lock_rank.size());
   std::printf("  %-8s %8s %8s %12s\n", "lock", "acquires", "procs", "hold(ms)");
@@ -242,6 +261,17 @@ int main(int argc, char** argv) {
       check = false;
     } else if (arg == "--async") {
       cfg.async.release = true;
+    } else if (arg == "--no-async") {
+      cfg.async.release = false;
+    } else if (arg == "--dir") {
+      const std::string s = next();
+      if (s == "sharded") {
+        cfg.dir.mode = DirMode::kSharded;
+      } else if (s == "replicated") {
+        cfg.dir.mode = DirMode::kReplicated;
+      } else {
+        Usage(argv[0]);
+      }
     } else if (arg == "--top") {
       top = std::atoi(next());
     } else {

@@ -42,6 +42,13 @@
 //                        a release-side store. Those are the sanctioned
 //                        (waived) sites; anything else is a release-path
 //                        directory write sneaking around the log.
+//                        In the sharded backend files (directory_sharded.*)
+//                        the rule also fires on raw `StoreWord32(` word
+//                        mutations: entry words may only be stored inside
+//                        the DirectoryBackend Write/WriteAndSnapshot
+//                        funnel (the two waived stores); a stray store
+//                        bypasses the entry's MC write order and the
+//                        claimant-snapshot arbitration.
 //
 // Waivers: a finding is suppressed by a same-line or immediately-preceding
 //   // csm-lint: allow(<rule>) -- <justification>
@@ -87,6 +94,7 @@ struct FileInfo {
   bool word_access = false;           // the sanctioned atomics site
   bool vm_dir = false;                // vm/ — View::Protect's home layer
   bool dir_home = false;              // directory.{cpp,hpp} — Directory's own file
+  bool dir_sharded = false;           // directory_sharded.* — sharded backend
   std::vector<std::string> expects;   // fixture expectations
 };
 
@@ -305,6 +313,12 @@ void LintFile(const FileInfo& f, const std::string& display_path,
          s.find("->WriteAndSnapshot(") != std::string::npos)) {
       report(i, "raw-dir-write");
     }
+    // Sharded backend files: entry-word stores are directory mutations.
+    // Only the Write/WriteAndSnapshot funnel stores (explicitly waived)
+    // may touch the owner-side entry words.
+    if (f.dir_sharded && ContainsToken(s, "StoreWord32")) {
+      report(i, "raw-dir-write");
+    }
     if (f.copy_domain) {
       for (const char* tok : kRawCopyTokens) {
         if (ContainsToken(s, tok)) {
@@ -347,6 +361,7 @@ bool LoadFile(const fs::path& path, FileInfo* out) {
   out->word_access = name == "word_access.hpp";
   out->vm_dir = generic.find("/vm/") != std::string::npos;
   out->dir_home = name == "directory.cpp" || name == "directory.hpp";
+  out->dir_sharded = name.rfind("directory_sharded", 0) == 0;
   // Fixture directives override path classification.
   for (const std::string& raw : out->raw) {
     std::size_t at = raw.find("csm-lint-domain:");
@@ -354,9 +369,10 @@ bool LoadFile(const fs::path& path, FileInfo* out) {
       const std::string domain =
           Trimmed(raw.substr(at + std::string("csm-lint-domain:").size()));
       out->copy_domain = domain == "protocol" || domain == "mc" || domain == "msg" ||
-                         domain == "vm";
+                         domain == "vm" || domain == "dir-sharded";
       out->fault_path = domain == "fault-path";
       out->vm_dir = domain == "vm";
+      out->dir_sharded = domain == "dir-sharded";
     }
     at = raw.find("csm-lint-expect:");
     if (at != std::string::npos) {
