@@ -122,7 +122,7 @@ void BM_PageWriteStream(benchmark::State& state) {
   auto src = RandomPage(6);
   std::vector<std::uint32_t> dst(kWordsPerPage);
   for (auto _ : state) {
-    hub.WriteStream(dst.data(), src.data(), kWordsPerPage, Traffic::kPageData);
+    hub.Issue(McOp::Stream(dst.data(), src.data(), kWordsPerPage, Traffic::kPageData));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPageBytes);
 }

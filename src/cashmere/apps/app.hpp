@@ -110,6 +110,14 @@ struct AppRunResult {
   // Event streams of the run that produced `report` (the dilation-corrected
   // rerun when one happened); non-null iff cfg.trace.enabled.
   std::shared_ptr<TraceLog> trace;
+  // Transport-level results (mc/transport.hpp). transport_verified is the
+  // shm backend's cross-process checksum handshake: false when a peer
+  // process's view of a segment disagreed with the lead's (or a peer died);
+  // always true for in-process transports. wire_ns is measured wall-clock
+  // time inside transport ops (shm only; 0 for inproc, which charges
+  // virtual time instead).
+  bool transport_verified = true;
+  std::uint64_t wire_ns = 0;
 };
 
 AppRunResult RunApp(AppKind kind, Config cfg, int size_class);

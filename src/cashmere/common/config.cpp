@@ -1,6 +1,8 @@
 #include "cashmere/common/config.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace cashmere {
 
@@ -52,9 +54,30 @@ constexpr VariantFlag kVariantFlags[] = {
     {" no-perm-batch", [](const Config& c) { return !c.vm.batch_mprotect; }},
     {" dir-sharded", [](const Config& c) { return c.dir.mode == DirMode::kSharded; }},
     {" async-release", [](const Config& c) { return c.AsyncRelease(); }},
+    {" mc-shm", [](const Config& c) { return c.mc.transport == McTransportKind::kShm; }},
 };
 
 }  // namespace
+
+bool ParseTransportKind(const char* name, McTransportKind* out) {
+  if (std::strcmp(name, "inproc") == 0) {
+    *out = McTransportKind::kInProc;
+    return true;
+  }
+  if (std::strcmp(name, "shm") == 0) {
+    *out = McTransportKind::kShm;
+    return true;
+  }
+  return false;
+}
+
+bool ApplyTransportEnv(Config* cfg) {
+  const char* env = std::getenv("CSM_TRANSPORT");
+  if (env == nullptr) {
+    return true;
+  }
+  return ParseTransportKind(env, &cfg->mc.transport);
+}
 
 std::string Config::Describe() const {
   char buf[160];

@@ -128,6 +128,26 @@ struct AsyncTuning {
   std::uint32_t log_entries = 64;
 };
 
+// Memory Channel transport selection (mc/transport.hpp, DESIGN.md §14).
+enum class McTransportKind : int {
+  // All emulated nodes in one process; remote writes are atomic stores into
+  // the receiver's memory. The default, byte-identical counters to the
+  // pre-transport McHub.
+  kInProc = 0,
+  // One OS process per node: arenas on memfd segments mapped by every node
+  // process, ordered ops through a cross-process futex-or-spin lock, UDS
+  // control plane for bootstrap/barrier/teardown (tools/cashmere_launch).
+  kShm = 1,
+};
+
+struct McTuning {
+  McTransportKind transport = McTransportKind::kInProc;
+};
+
+// Parses a transport name ("inproc" | "shm") into `*out`; false on an
+// unknown name. Shared by the CLI drivers' --transport flags.
+bool ParseTransportKind(const char* name, McTransportKind* out);
+
 // Cost-model scaling knobs.
 struct CostTuning {
   // Multiplier applied to every modeled protocol cost (Runtime applies it
@@ -164,6 +184,7 @@ struct Config {
   VmTuning vm;
   DirTuning dir;
   AsyncTuning async;
+  McTuning mc;
   CostTuning cost;
 
   CostModel costs;
@@ -215,6 +236,12 @@ struct Config {
 
   std::string Describe() const;
 };
+
+// Applies the CSM_TRANSPORT environment variable (if set) to `cfg->mc`.
+// This is how tools/cashmere_launch selects the shm backend in the lead
+// process without rewriting its command line; an explicit --transport flag
+// parsed afterwards wins. Returns false (cfg untouched) on an unknown value.
+bool ApplyTransportEnv(Config* cfg);
 
 }  // namespace cashmere
 

@@ -1,0 +1,431 @@
+#include "cashmere/mc/control_plane.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "cashmere/common/logging.hpp"
+#include "cashmere/common/types.hpp"
+
+namespace cashmere {
+
+// --- CtrlEndpoint ---------------------------------------------------------
+
+CtrlEndpoint::~CtrlEndpoint() { Close(); }
+
+CtrlEndpoint::CtrlEndpoint(CtrlEndpoint&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), owned_(std::exchange(other.owned_, false)) {}
+
+CtrlEndpoint& CtrlEndpoint::operator=(CtrlEndpoint&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    owned_ = std::exchange(other.owned_, false);
+  }
+  return *this;
+}
+
+void CtrlEndpoint::Close() {
+  if (owned_ && fd_ >= 0) {
+    close(fd_);
+  }
+  fd_ = -1;
+  owned_ = false;
+}
+
+bool CtrlEndpoint::MakePair(CtrlEndpoint* a, CtrlEndpoint* b) {
+  int fds[2];
+  if (socketpair(AF_UNIX, SOCK_SEQPACKET, 0, fds) != 0) {
+    return false;
+  }
+  *a = CtrlEndpoint(fds[0]);
+  *b = CtrlEndpoint(fds[1]);
+  return true;
+}
+
+bool CtrlEndpoint::Send(const CtrlMsg& msg, int fd_to_pass) {
+  iovec iov;
+  iov.iov_base = const_cast<CtrlMsg*>(&msg);
+  iov.iov_len = sizeof(msg);
+  msghdr hdr{};
+  hdr.msg_iov = &iov;
+  hdr.msg_iovlen = 1;
+  alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))];
+  if (fd_to_pass >= 0) {
+    // csm-lint: allow(raw-page-copy) -- SCM_RIGHTS ancillary buffer, local
+    // control-plane bytes; no shared-page data moves here.
+    std::memset(cbuf, 0, sizeof(cbuf));
+    hdr.msg_control = cbuf;
+    hdr.msg_controllen = sizeof(cbuf);
+    cmsghdr* cmsg = CMSG_FIRSTHDR(&hdr);
+    cmsg->cmsg_level = SOL_SOCKET;
+    cmsg->cmsg_type = SCM_RIGHTS;
+    cmsg->cmsg_len = CMSG_LEN(sizeof(int));
+    // csm-lint: allow(raw-page-copy) -- packs the passed fd into the cmsg,
+    // per the CMSG_DATA aliasing rules; not page data.
+    std::memcpy(CMSG_DATA(cmsg), &fd_to_pass, sizeof(int));
+  }
+  ssize_t n;
+  do {
+    n = sendmsg(fd_, &hdr, MSG_NOSIGNAL);
+  } while (n < 0 && errno == EINTR);
+  return n == static_cast<ssize_t>(sizeof(msg));
+}
+
+bool CtrlEndpoint::Recv(CtrlMsg* msg, int* received_fd) {
+  if (received_fd != nullptr) {
+    *received_fd = -1;
+  }
+  iovec iov;
+  iov.iov_base = msg;
+  iov.iov_len = sizeof(*msg);
+  msghdr hdr{};
+  hdr.msg_iov = &iov;
+  hdr.msg_iovlen = 1;
+  alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))];
+  hdr.msg_control = cbuf;
+  hdr.msg_controllen = sizeof(cbuf);
+  ssize_t n;
+  do {
+    n = recvmsg(fd_, &hdr, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n != static_cast<ssize_t>(sizeof(*msg))) {
+    return false;  // EOF, short packet, or error: the peer is gone
+  }
+  for (cmsghdr* cmsg = CMSG_FIRSTHDR(&hdr); cmsg != nullptr;
+       cmsg = CMSG_NXTHDR(&hdr, cmsg)) {
+    if (cmsg->cmsg_level == SOL_SOCKET && cmsg->cmsg_type == SCM_RIGHTS) {
+      int fd;
+      // csm-lint: allow(raw-page-copy) -- unpacks the received fd from the
+      // cmsg, per the CMSG_DATA aliasing rules; not page data.
+      std::memcpy(&fd, CMSG_DATA(cmsg), sizeof(int));
+      if (received_fd != nullptr) {
+        *received_fd = fd;
+      } else {
+        close(fd);  // unexpected fd: do not leak it
+      }
+    }
+  }
+  return true;
+}
+
+// --- Checksums ------------------------------------------------------------
+
+std::uint64_t Fnv64(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// --- Peer service loop ----------------------------------------------------
+
+namespace {
+
+struct PeerSeg {
+  int fd = -1;
+  void* base = nullptr;
+  std::size_t bytes = 0;
+};
+
+void DropSegs(std::vector<PeerSeg>* segs) {
+  for (PeerSeg& s : *segs) {
+    if (s.base != nullptr) {
+      munmap(s.base, s.bytes);
+    }
+    if (s.fd >= 0) {
+      close(s.fd);
+    }
+  }
+  segs->clear();
+}
+
+}  // namespace
+
+int ShmPeerServe(CtrlEndpoint ctrl, int unit) {
+  std::vector<PeerSeg> segs;
+  if (!ctrl.Send(CtrlMsg{CtrlKind::kHello, unit, 0, 0})) {
+    return 1;
+  }
+  CtrlMsg msg;
+  while (ctrl.Recv(&msg)) {
+    switch (msg.kind) {
+      case CtrlKind::kSegReset:
+        DropSegs(&segs);
+        break;
+      case CtrlKind::kSegCreate: {
+        const std::size_t bytes =
+            static_cast<std::size_t>(msg.a) | (static_cast<std::size_t>(msg.b) << 32);
+        PeerSeg seg;
+        seg.bytes = bytes;
+        seg.fd = memfd_create("cashmere-peer-arena", 0);
+        if (seg.fd < 0 || ftruncate(seg.fd, static_cast<off_t>(bytes)) != 0) {
+          DropSegs(&segs);
+          return 1;
+        }
+        seg.base = mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, seg.fd, 0);
+        if (seg.base == MAP_FAILED) {
+          DropSegs(&segs);
+          return 1;
+        }
+        // The fd rides back as SCM_RIGHTS; we keep our own fd + mapping so
+        // checksum probes read through *this* process's view of the pages.
+        if (!ctrl.Send(CtrlMsg{CtrlKind::kSegFd, unit, msg.a, msg.b}, seg.fd)) {
+          DropSegs(&segs);
+          return 1;
+        }
+        segs.push_back(seg);
+        break;
+      }
+      case CtrlKind::kChecksum: {
+        const std::size_t idx = msg.a;
+        if (idx >= segs.size()) {
+          return 1;
+        }
+        const std::uint64_t h = Fnv64(segs[idx].base, segs[idx].bytes);
+        if (!ctrl.Send(CtrlMsg{CtrlKind::kChecksumRep, unit,
+                               static_cast<std::uint32_t>(h),
+                               static_cast<std::uint32_t>(h >> 32)})) {
+          return 1;
+        }
+        break;
+      }
+      case CtrlKind::kBarrier:
+        // Barrier-of-last-resort arrival ack; the launcher releases everyone
+        // with kBarrierGo once all units answered.
+        if (!ctrl.Send(CtrlMsg{CtrlKind::kBarrier, unit, 0, 0})) {
+          return 1;
+        }
+        break;
+      case CtrlKind::kBarrierGo:
+        break;  // peers do not block on the release
+      case CtrlKind::kShutdown:
+        DropSegs(&segs);
+        return 0;
+      default:
+        return 1;
+    }
+  }
+  DropSegs(&segs);
+  return 1;  // launcher vanished without kShutdown
+}
+
+// --- ShmLauncher ----------------------------------------------------------
+
+ShmLauncher::~ShmLauncher() {
+  if (relay_.joinable()) {
+    Join();
+  }
+}
+
+bool ShmLauncher::Start(int nodes) {
+  CSM_CHECK(nodes >= 1 && !relay_.joinable());
+  nodes_ = nodes;
+  pids_.assign(static_cast<std::size_t>(nodes), -1);
+  links_.resize(static_cast<std::size_t>(nodes));
+  // Lead link: the lead node runs in this process (tests) or in an exec'd
+  // child that inherited the other end (the CLI tool dups it there).
+  CtrlEndpoint lead_far;
+  if (!CtrlEndpoint::MakePair(&links_[0], &lead_far)) {
+    return false;
+  }
+  lead_ = std::move(lead_far);
+  for (int u = 1; u < nodes; ++u) {
+    CtrlEndpoint near_end;
+    CtrlEndpoint far_end;
+    if (!CtrlEndpoint::MakePair(&near_end, &far_end)) {
+      return false;
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+      return false;
+    }
+    if (pid == 0) {
+      // Peer process: close every inherited launcher-side and lead-side fd
+      // except our own link — socket EOF only tracks process death if no
+      // stray copy of an endpoint survives in another child. _exit skips
+      // atexit machinery inherited from the parent (gtest, stdio flushes).
+      near_end = CtrlEndpoint();
+      lead_ = CtrlEndpoint();
+      for (CtrlEndpoint& link : links_) {
+        link = CtrlEndpoint();
+      }
+      _exit(ShmPeerServe(std::move(far_end), u));
+    }
+    pids_[static_cast<std::size_t>(u)] = pid;
+    links_[static_cast<std::size_t>(u)] = std::move(near_end);
+  }
+  relay_ = std::thread([this] { Relay(); });
+  return true;
+}
+
+CtrlEndpoint ShmLauncher::TakeLeadEndpoint() { return std::move(lead_); }
+
+pid_t ShmLauncher::peer_pid(int unit) const {
+  CSM_CHECK(unit >= 1 && unit < nodes_);
+  return pids_[static_cast<std::size_t>(unit)];
+}
+
+void ShmLauncher::KillPeer(int unit, int sig) { kill(peer_pid(unit), sig); }
+
+void ShmLauncher::CloseLauncherFdsInChild() {
+  // Runs between fork and exec in the child that becomes the lead process
+  // (tools/cashmere_launch). Only raw close(2) — the parent is already
+  // multi-threaded (relay), so the child must stay async-signal-safe. The
+  // lead endpoint itself was moved out via TakeLeadEndpoint and survives.
+  for (const CtrlEndpoint& link : links_) {
+    if (link.valid()) {
+      close(link.fd());
+    }
+  }
+}
+
+void ShmLauncher::Relay() {
+  // Star relay: every node talks only to us; we forward by target unit and
+  // implement the barrier count. Any peer EOF before the lead's kShutdown is
+  // a crash: kill the survivors and tear the lead link down so a blocked
+  // lead Recv fails fast instead of hanging.
+  bool shutdown_sent = false;
+  int barrier_arrivals = 0;
+  std::vector<bool> open(static_cast<std::size_t>(nodes_), true);
+  auto open_count = [&] {
+    int n = 0;
+    for (int u = 0; u < nodes_; ++u) {
+      n += open[static_cast<std::size_t>(u)] ? 1 : 0;
+    }
+    return n;
+  };
+  while (open_count() > 0) {
+    std::vector<pollfd> pfds;
+    std::vector<int> pfd_unit;
+    for (int u = 0; u < nodes_; ++u) {
+      if (open[static_cast<std::size_t>(u)]) {
+        pfds.push_back(pollfd{links_[static_cast<std::size_t>(u)].fd(), POLLIN, 0});
+        pfd_unit.push_back(u);
+      }
+    }
+    if (poll(pfds.data(), pfds.size(), -1) < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      const int u = pfd_unit[i];
+      CtrlEndpoint& link = links_[static_cast<std::size_t>(u)];
+      CtrlMsg msg;
+      int fd = -1;
+      if (!link.Recv(&msg, &fd)) {
+        open[static_cast<std::size_t>(u)] = false;
+        if (!shutdown_sent) {
+          // Crash before clean shutdown: kill everyone else, break the
+          // remaining links, record the failure.
+          peer_crashed_ = true;
+          for (int v = 1; v < nodes_; ++v) {
+            if (v != u && pids_[static_cast<std::size_t>(v)] > 0) {
+              kill(pids_[static_cast<std::size_t>(v)], SIGKILL);
+            }
+          }
+          for (int v = 0; v < nodes_; ++v) {
+            links_[static_cast<std::size_t>(v)] = CtrlEndpoint();
+            open[static_cast<std::size_t>(v)] = false;
+          }
+          return;
+        }
+        continue;
+      }
+      switch (msg.kind) {
+        case CtrlKind::kHello:
+          break;
+        case CtrlKind::kSegReset:
+        case CtrlKind::kShutdown:
+          for (int v = 1; v < nodes_; ++v) {
+            if (open[static_cast<std::size_t>(v)]) {
+              links_[static_cast<std::size_t>(v)].Send(msg);
+            }
+          }
+          if (msg.kind == CtrlKind::kShutdown) {
+            shutdown_sent = true;
+            // The lead is done with the control plane; drop its link so the
+            // loop ends once the peers have drained out.
+            links_[0] = CtrlEndpoint();
+            open[0] = false;
+          }
+          break;
+        case CtrlKind::kSegCreate:
+        case CtrlKind::kChecksum:
+          // Lead -> specific peer.
+          if (msg.unit >= 1 && msg.unit < nodes_ &&
+              open[static_cast<std::size_t>(msg.unit)]) {
+            links_[static_cast<std::size_t>(msg.unit)].Send(msg);
+          }
+          break;
+        case CtrlKind::kSegFd:
+        case CtrlKind::kChecksumRep:
+          // Peer -> lead; a passed fd is forwarded and our relay copy closed.
+          if (open[0]) {
+            links_[0].Send(msg, fd);
+          }
+          break;
+        case CtrlKind::kBarrier:
+          if (u == 0) {
+            // The lead opens the barrier round: poll every peer for life.
+            for (int v = 1; v < nodes_; ++v) {
+              if (open[static_cast<std::size_t>(v)]) {
+                links_[static_cast<std::size_t>(v)].Send(msg);
+              }
+            }
+          }
+          if (++barrier_arrivals == nodes_) {
+            barrier_arrivals = 0;
+            const CtrlMsg go{CtrlKind::kBarrierGo, -1, 0, 0};
+            for (int v = 0; v < nodes_; ++v) {
+              if (open[static_cast<std::size_t>(v)]) {
+                links_[static_cast<std::size_t>(v)].Send(go);
+              }
+            }
+          }
+          break;
+        default:
+          break;
+      }
+      if (fd >= 0) {
+        close(fd);  // relay's copy; the receiver got its own via SCM_RIGHTS
+      }
+    }
+  }
+}
+
+bool ShmLauncher::Join() {
+  if (relay_.joinable()) {
+    relay_.join();
+  }
+  bool all_clean = !peer_crashed_;
+  for (int u = 1; u < nodes_; ++u) {
+    pid_t& pid = pids_[static_cast<std::size_t>(u)];
+    if (pid > 0) {
+      int status = 0;
+      waitpid(pid, &status, 0);
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        all_clean = false;
+      }
+      pid = -1;
+    }
+  }
+  return all_clean;
+}
+
+}  // namespace cashmere

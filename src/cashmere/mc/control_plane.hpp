@@ -1,0 +1,137 @@
+// Control plane for the multi-process shm transport.
+//
+// The data plane of ShmTransport is pure shared memory (remote writes land
+// directly in memfd segments mapped by every node process), but three
+// things cannot ride shared memory: passing the segment fds themselves,
+// a barrier of last resort that works before/after the segments exist, and
+// detecting a dead peer. Those ride a tiny Unix-domain-socket control
+// plane: the launcher (tools/cashmere_launch, or the in-process ShmLauncher
+// below for tests) holds one SOCK_SEQPACKET pair per node and relays
+// messages between the lead node — the process that runs the Runtime — and
+// the peers — the processes whose address spaces host the other nodes'
+// arena segments.
+//
+// Wire format: fixed-size CtrlMsg records (SOCK_SEQPACKET preserves
+// boundaries), with segment fds attached as SCM_RIGHTS ancillary data on
+// kSegFd. A closed socket (recv returning 0/ECONNRESET) is the failure
+// model: the launcher treats any child exiting before kShutdown as a crash,
+// kills the rest of the cluster, and exits nonzero — the "teardown with a
+// killed child" contract transport_test pins.
+#ifndef CASHMERE_MC_CONTROL_PLANE_HPP_
+#define CASHMERE_MC_CONTROL_PLANE_HPP_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace cashmere {
+
+enum class CtrlKind : std::uint32_t {
+  kHello = 1,        // peer -> launcher: alive, unit id attached
+  kSegReset,         // lead -> peers: drop segment table (new Runtime boot)
+  kSegCreate,        // lead -> peer: create arena segment (a=bytes)
+  kSegFd,            // peer -> lead: created segment fd (SCM_RIGHTS)
+  kChecksum,         // lead -> peer: checksum your mapping of segment a
+  kChecksumRep,      // peer -> lead: FNV-64 of the segment (a=lo32, b=hi32)
+  kBarrier,          // any -> launcher: entered barrier-of-last-resort
+  kBarrierGo,        // launcher -> all: everyone arrived, proceed
+  kShutdown,         // lead -> all: run complete, exit cleanly
+};
+
+struct CtrlMsg {
+  CtrlKind kind = CtrlKind::kHello;
+  std::int32_t unit = -1;  // sender or target unit, message-dependent
+  std::uint32_t a = 0;     // payload words, message-dependent
+  std::uint32_t b = 0;
+};
+
+// One end of a SOCK_SEQPACKET control connection. Does not own the fd
+// unless adopted; Send/Recv move whole CtrlMsg records, optionally carrying
+// one file descriptor as SCM_RIGHTS ancillary data.
+class CtrlEndpoint {
+ public:
+  CtrlEndpoint() = default;
+  explicit CtrlEndpoint(int fd, bool owned = true) : fd_(fd), owned_(owned) {}
+  ~CtrlEndpoint();
+  CtrlEndpoint(CtrlEndpoint&& other) noexcept;
+  CtrlEndpoint& operator=(CtrlEndpoint&& other) noexcept;
+  CtrlEndpoint(const CtrlEndpoint&) = delete;
+  CtrlEndpoint& operator=(const CtrlEndpoint&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  // Sends one record, with `fd_to_pass` attached when >= 0. Returns false
+  // on a broken connection (EPIPE/ECONNRESET) — the peer died.
+  bool Send(const CtrlMsg& msg, int fd_to_pass = -1);
+  // Receives one record; a passed fd (if any) lands in *received_fd, which
+  // the caller owns. Returns false on EOF or error — the peer died.
+  bool Recv(CtrlMsg* msg, int* received_fd = nullptr);
+
+  // Creates a connected SOCK_SEQPACKET pair (CLOEXEC off so one end can
+  // survive exec into a peer process).
+  static bool MakePair(CtrlEndpoint* a, CtrlEndpoint* b);
+
+ private:
+  void Close();
+  int fd_ = -1;
+  bool owned_ = false;
+};
+
+// FNV-1a over a byte range; the checksum peers report so the lead can prove
+// its remote writes are visible in the peer's own mapping.
+std::uint64_t Fnv64(const void* data, std::size_t bytes);
+
+// Peer service loop: runs in each non-lead node process (or thread, under
+// the test launcher). Creates arena segments on request, answers checksum
+// probes over its own mapping, participates in barriers, and exits on
+// kShutdown or EOF. Returns 0 on clean shutdown, nonzero on protocol error.
+int ShmPeerServe(CtrlEndpoint ctrl, int unit);
+
+// In-process cluster launcher, the library form of tools/cashmere_launch.
+// Forks `nodes - 1` peer processes (unit ids 1..nodes-1), runs the relay in
+// a background thread, and hands the lead (unit 0) its control endpoint.
+// The relay implements the star topology: every message a node sends names
+// its target via CtrlMsg::unit and the launcher forwards it, so nodes need
+// no pairwise connections. Used directly by transport_test; the CLI tool
+// wraps the same class around fork+exec of the app binary.
+class ShmLauncher {
+ public:
+  ShmLauncher() = default;
+  ~ShmLauncher();
+  ShmLauncher(const ShmLauncher&) = delete;
+  ShmLauncher& operator=(const ShmLauncher&) = delete;
+
+  // Forks peers and starts the relay. Returns false on fork/socket failure.
+  bool Start(int nodes);
+  // Control endpoint for the lead node (unit 0); valid after Start.
+  CtrlEndpoint TakeLeadEndpoint();
+  // Waits for all peers to exit. Returns true iff every peer exited zero
+  // after a clean kShutdown; on a peer crash the remaining peers are
+  // killed (the teardown guarantee).
+  bool Join();
+  // Kills one peer (test hook for the killed-child teardown case).
+  void KillPeer(int unit, int sig);
+  // For a CLI that fork+execs the lead: call in the child, after
+  // TakeLeadEndpoint and before exec, to close the child's inherited copies
+  // of the launcher-side link fds (async-signal-safe; raw close only).
+  void CloseLauncherFdsInChild();
+
+  pid_t peer_pid(int unit) const;
+
+ private:
+  void Relay();
+
+  int nodes_ = 0;
+  std::vector<pid_t> pids_;           // index = unit, [0] unused
+  std::vector<CtrlEndpoint> links_;   // launcher end per unit, [0] = lead link
+  CtrlEndpoint lead_;                 // handed to the lead node
+  std::thread relay_;
+  bool peer_crashed_ = false;
+};
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_MC_CONTROL_PLANE_HPP_

@@ -23,46 +23,23 @@ std::uint32_t LoadWord32(const void* src) { return LoadWord32Acquire(src); }
 
 void StoreWord32(void* dst, std::uint32_t value) { StoreWord32Release(dst, value); }
 
-void McHub::OrderedBroadcast32(std::uint32_t* location, std::uint32_t value, Traffic t) {
-  SpinLockGuard guard(order_lock_);
-  StoreWord32Release(location, value);
-  AccountWrite(t, kWordBytes * static_cast<std::size_t>(units_));
+McHub::McHub(int units)
+    : units_(units),
+      owned_transport_(std::make_unique<InProcTransport>()),
+      transport_(owned_transport_.get()),
+      inproc_(transport_->AsInProc()) {}
+
+McHub::McHub(int units, McTransport* transport)
+    : units_(units), transport_(transport), inproc_(transport_->AsInProc()) {
+  CSM_CHECK(transport_ != nullptr);
 }
 
-std::uint32_t McHub::OrderedExchange32(std::uint32_t* location, std::uint32_t value, Traffic t) {
-  SpinLockGuard guard(order_lock_);
-  const std::uint32_t prev = LoadWord32Acquire(location);
-  StoreWord32Release(location, value);
-  AccountWrite(t, kWordBytes * static_cast<std::size_t>(units_));
+std::uint32_t McHub::IssueVirtual(McOp op) {
+  const std::uint32_t prev = transport_->Execute(op);
+  AccountWrite(op.traffic, op.WireBytes(units_));
   return prev;
 }
 
-void McHub::WriteStream(void* dst, const void* src, std::size_t words, Traffic t) {
-  CopyWords32(dst, src, words);
-  AccountWrite(t, words * kWordBytes);
-}
-
-void McHub::WriteRun(void* dst_base, std::size_t offset_words, const void* payload,
-                     std::size_t nwords, Traffic t, std::size_t header_bytes) {
-  CopyWords32(static_cast<std::byte*>(dst_base) + offset_words * kWordBytes, payload, nwords);
-  AccountWrite(t, nwords * kWordBytes + header_bytes);
-}
-
-void McHub::Write32(std::uint32_t* dst, std::uint32_t value, Traffic t) {
-  StoreWord32Release(dst, value);
-  AccountWrite(t, kWordBytes);
-}
-
-void McHub::AccountWrite(Traffic t, std::size_t bytes) {
-  bytes_[static_cast<int>(t)].fetch_add(bytes, std::memory_order_relaxed);
-  writes_[static_cast<int>(t)].fetch_add(1, std::memory_order_relaxed);
-  // Single chokepoint for MC traffic: every Write32/WriteRun/WriteStream/
-  // ordered-broadcast lands here, so one emit covers the hub.
-  if (TraceActive()) {
-    TraceEmit(EventKind::kMcWrite, kNoTracePage, 0, static_cast<std::uint32_t>(t),
-              static_cast<std::uint64_t>(bytes));
-  }
-}
 
 VirtTime McHub::ReserveBus(VirtTime earliest, std::size_t bytes) {
   if (ns_per_byte_ <= 0.0) {

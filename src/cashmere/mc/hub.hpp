@@ -1,4 +1,4 @@
-// Memory Channel (MC) simulator.
+// Memory Channel (MC) hub: the accounting and bus-reservation chokepoint.
 //
 // DEC's Memory Channel is a remote-write network: writes (32-bit granularity)
 // to a transmit region are forwarded through a hub and DMA-ed into receive
@@ -8,43 +8,29 @@
 // (c) optional loop-back so a writer can tell when its own write has been
 // globally performed.
 //
-// In this reproduction all emulated nodes live in one process, so a remote
-// write is an atomic 32-bit store executed by the sender directly into the
-// receiver's memory. That reproduces MC's observable behaviour exactly:
-//   - atomicity: std::atomic_ref<uint32_t> stores;
-//   - global ordering for control traffic: OrderedBroadcast32 serializes
-//     through the hub lock (MC is physically a bus);
-//   - loop-back: a broadcast is globally performed when the call returns.
-// Replicated regions (directory, lock arrays) are stored once rather than
-// once per node: because updates are applied atomically inside the hub,
-// every per-node replica would be bitwise identical at all times, so a
-// single copy is observationally equivalent; broadcast *traffic* is still
-// accounted per replica.
+// The raw wire behind those guarantees is pluggable (mc/transport.hpp):
+// InProcTransport emulates the cluster inside one process, ShmTransport
+// spreads it across one OS process per node on shared memfd segments. The
+// hub itself is wire-agnostic — protocol code builds a typed McOp and calls
+// Issue(), which delegates the write to the bound transport and charges
+// traffic exactly once. Counters under the default in-process transport are
+// byte-identical to the historical per-method accounting (pinned by
+// mc_test's InprocCountersMatchPrePluggableAccounting).
 #ifndef CASHMERE_MC_HUB_HPP_
 #define CASHMERE_MC_HUB_HPP_
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
-#include "cashmere/common/spin.hpp"
-#include "cashmere/common/thread_safety.hpp"
+#include "cashmere/common/trace.hpp"
 #include "cashmere/common/types.hpp"
 #include "cashmere/common/word_access.hpp"
+#include "cashmere/mc/inproc_transport.hpp"
+#include "cashmere/mc/transport.hpp"
 
 namespace cashmere {
-
-// Traffic classes, for the Table 3 "Data" row and the MC accounting tests.
-enum class Traffic : int {
-  kDirectory = 0,
-  kSyncObject,
-  kWriteNotice,
-  kRequest,
-  kPageData,   // full page transfers (fetch replies, exclusive flushes)
-  kDiffData,   // outgoing diffs flushed to home nodes
-  kNumClasses,
-};
-inline constexpr int kNumTrafficClasses = static_cast<int>(Traffic::kNumClasses);
 
 // Atomic 32-bit word copy helpers. All shared-page data movement in the
 // system goes through these, mirroring MC's 32-bit write atomicity and
@@ -57,42 +43,55 @@ void StoreWord32(void* dst, std::uint32_t value);
 
 class McHub {
  public:
-  explicit McHub(int units) : units_(units) {}
+  // Owns a default in-process transport.
+  explicit McHub(int units);
+  // Binds an externally-owned transport (must outlive the hub).
+  McHub(int units, McTransport* transport);
   McHub(const McHub&) = delete;
   McHub& operator=(const McHub&) = delete;
 
   int units() const { return units_; }
+  McTransport& transport() { return *transport_; }
+  const McTransport& transport() const { return *transport_; }
 
-  // Totally-ordered broadcast of one 32-bit word to a replicated location.
-  // Returns only after the write is globally performed (loop-back
-  // semantics). Traffic is accounted as one write per replica.
-  void OrderedBroadcast32(std::uint32_t* location, std::uint32_t value, Traffic t);
-
-  // Ordered read-modify-broadcast: applies `value` and returns the previous
-  // value, all inside the global order. Used to resolve races that the real
-  // protocol resolves through MC's total write ordering (e.g. concurrent
-  // exclusive-mode claims).
-  std::uint32_t OrderedExchange32(std::uint32_t* location, std::uint32_t value, Traffic t);
-
-  // Unordered remote write of a word stream into one destination node's
-  // receive region (page data, diffs, write notices). Word-atomic.
-  void WriteStream(void* dst, const void* src, std::size_t words, Traffic t);
-  // Remote write of one RLE diff run: scatters `nwords` payload words into
-  // `dst_base` at word offset `offset_words`. On MC a diff run is raw
-  // remote writes of the modified words, so by default traffic is accounted
-  // as the payload bytes only (run descriptors are host-side bookkeeping,
-  // tracked by the kDiffRunBytes statistic, not MC traffic). Under the
-  // Config::diff.charge_run_headers cost variant the caller passes the
-  // run's framing overhead as `header_bytes`, which is accounted into the
-  // same traffic class without changing the write count.
-  void WriteRun(void* dst_base, std::size_t offset_words, const void* payload,
-                std::size_t nwords, Traffic t, std::size_t header_bytes = 0);
-  // Remote write of a single word without global ordering.
-  void Write32(std::uint32_t* dst, std::uint32_t value, Traffic t);
+  // The single remote-write funnel: executes `op` on the bound transport
+  // and charges its wire bytes to the op's traffic class. Returns the
+  // previous word value for exchange ops, 0 otherwise. The descriptor is
+  // passed by value everywhere on this path — including into the
+  // out-of-line IssueVirtual fallback — so its address never escapes and
+  // the compiler can scalarize it; call sites build the op with a
+  // compile-time-constant kind, so the dispatch and WireBytes switches
+  // fold away on the devirtualized default path (the bench_transport
+  // ≤5% gate). Calling Execute(const McOp&) here directly would leak &op
+  // into a virtual call and pin the descriptor in memory.
+  std::uint32_t Issue(McOp op) {
+    if (inproc_ != nullptr) {
+      const std::uint32_t prev = inproc_->ExecuteInline(op);
+      AccountWrite(op.traffic, op.WireBytes(units_));
+      return prev;
+    }
+    // Rebuilt field-by-field so this cold block is the only place a whole
+    // McOp object exists: `op` itself then has scalar uses only, and the
+    // hot path above carries no aggregate stores at all.
+    return IssueVirtual(McOp{op.kind, op.traffic, op.dst, op.src, op.value,
+                             op.words, op.offset_words, op.header_bytes});
+  }
 
   // Account traffic that was moved by other means (e.g. diff runs applied
-  // word by word inside the diff engine).
-  void AccountWrite(Traffic t, std::size_t bytes);
+  // word by word inside the diff engine, directory words stored under a
+  // lock already held). Inline: with ExecuteInline also in its header, the
+  // default Issue path compiles down to the store plus these two relaxed
+  // fetch-adds — the same instructions the pre-transport hub executed.
+  void AccountWrite(Traffic t, std::size_t bytes) {
+    bytes_[static_cast<int>(t)].fetch_add(bytes, std::memory_order_relaxed);
+    writes_[static_cast<int>(t)].fetch_add(1, std::memory_order_relaxed);
+    // Single chokepoint for MC traffic: every Issue() lands here, so one
+    // emit covers the hub.
+    if (TraceActive()) {
+      TraceEmit(EventKind::kMcWrite, kNoTracePage, 0, static_cast<std::uint32_t>(t),
+                static_cast<std::uint64_t>(bytes));
+    }
+  }
 
   std::uint64_t BytesSent(Traffic t) const {
     return bytes_[static_cast<int>(t)].load(std::memory_order_relaxed);
@@ -115,13 +114,15 @@ class McHub {
   VirtTime ReserveBus(VirtTime earliest, std::size_t bytes);
 
  private:
+  // Cold path for non-inproc backends: the vtable dispatch to
+  // McTransport::Execute plus the traffic charge. Out of line (hub.cpp)
+  // and by value on purpose — see Issue.
+  std::uint32_t IssueVirtual(McOp op);
+
   int units_;
-  // Capability ordering the "bus": OrderedBroadcast32 / OrderedExchange32
-  // critical sections model MC's single global write order. It guards no
-  // hub field — the serialized stores land in caller-owned replicated
-  // locations — so there is no GUARDED_BY; the RAII guard plus the
-  // SpinLock capability annotations give the analysis the pairing.
-  SpinLock order_lock_;
+  std::unique_ptr<McTransport> owned_transport_;  // set by the 1-arg ctor
+  McTransport* transport_;
+  InProcTransport* inproc_;  // devirtualized fast path; null for other backends
   // Set once by the runtime before processor threads start; read-only after.
   double ns_per_byte_ = 0.0;
   std::atomic<std::uint64_t> bus_clock_{0};

@@ -1,0 +1,86 @@
+// InProcTransport: the historical single-process MC emulation, behind the
+// McTransport seam.
+//
+// All emulated nodes live in this process, so a remote write is an atomic
+// 32-bit store executed by the sender directly into the receiver's memory.
+// That reproduces MC's observable behaviour exactly:
+//   - atomicity: std::atomic_ref<uint32_t> stores (common/word_access.hpp);
+//   - global ordering for control traffic: the ordered ops serialize
+//     through a spin lock (MC is physically a bus);
+//   - loop-back: a broadcast is globally performed when Execute returns.
+// Replicated regions (directory, lock arrays) are stored once rather than
+// once per node: because updates are applied atomically inside the hub,
+// every per-node replica would be bitwise identical at all times, so a
+// single copy is observationally equivalent; broadcast *traffic* is still
+// accounted per replica (McOp::WireBytes).
+//
+// The class is final and McHub keeps a devirtualized fast-path pointer to
+// it (McTransport::AsInProc), so in the default configuration the seam
+// compiles down to the same direct calls the pre-transport hub made.
+#ifndef CASHMERE_MC_INPROC_TRANSPORT_HPP_
+#define CASHMERE_MC_INPROC_TRANSPORT_HPP_
+
+#include "cashmere/common/spin.hpp"
+#include "cashmere/common/word_access.hpp"
+#include "cashmere/mc/transport.hpp"
+
+namespace cashmere {
+
+// Atomic word-stream copy (defined in hub.cpp; also declared in hub.hpp).
+void CopyWords32(void* dst, const void* src, std::size_t words);
+
+class InProcTransport final : public McTransport {
+ public:
+  InProcTransport() = default;
+
+  const char* name() const override { return "inproc"; }
+
+  std::uint32_t Execute(const McOp& op) override { return ExecuteInline(op); }
+  InProcTransport* AsInProc() override { return this; }
+
+  // Non-virtual body McHub calls through its cached InProcTransport*.
+  // Defined here, in the header, on purpose: McHub::Issue call sites build
+  // the McOp with a compile-time-constant kind, so full inlining folds the
+  // dispatch switch away and the seam costs the same instructions the
+  // pre-transport per-method hub did (the bench_transport ≤5% gate). By
+  // value for the same reason as McHub::Issue: no reference to the
+  // descriptor survives on this path, so it can be scalarized.
+  std::uint32_t ExecuteInline(McOp op) {
+    switch (op.kind) {
+      case McOpKind::kWrite32:
+        StoreWord32Release(op.dst, op.value);
+        return 0;
+      case McOpKind::kWriteStream:
+        CopyWords32(op.dst, op.src, op.words);
+        return 0;
+      case McOpKind::kWriteRun:
+        CopyWords32(static_cast<std::byte*>(op.dst) + op.offset_words * kWordBytes,
+                    op.src, op.words);
+        return 0;
+      case McOpKind::kOrderedBroadcast32: {
+        SpinLockGuard guard(order_lock_);
+        StoreWord32Release(op.dst, op.value);
+        return 0;
+      }
+      case McOpKind::kOrderedExchange32: {
+        SpinLockGuard guard(order_lock_);
+        const std::uint32_t prev = LoadWord32Acquire(op.dst);
+        StoreWord32Release(op.dst, op.value);
+        return prev;
+      }
+    }
+    return 0;
+  }
+
+ private:
+  // Capability ordering the "bus": the ordered-op critical sections model
+  // MC's single global write order. It guards no transport field — the
+  // serialized stores land in caller-owned replicated locations — so there
+  // is no GUARDED_BY; the RAII guard plus the SpinLock capability
+  // annotations give the analysis the pairing.
+  SpinLock order_lock_;
+};
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_MC_INPROC_TRANSPORT_HPP_

@@ -1,0 +1,220 @@
+#include "cashmere/mc/shm_transport.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+
+#include "cashmere/common/logging.hpp"
+#include "cashmere/mc/hub.hpp"
+
+namespace cashmere {
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ShmTransport::ShmTransport() { InitCtlSegment(); }
+
+ShmTransport::ShmTransport(CtrlEndpoint ctrl, int nodes, int node)
+    : ctrl_(std::move(ctrl)), nodes_(nodes), node_(node) {
+  // v1 execution model: the lead process runs the Runtime, peers host
+  // segments. True SPMD (node_ != 0 running compute) is the documented
+  // follow-up; reject it rather than half-run it.
+  CSM_CHECK(node_ == 0 && "shm cluster v1: only the lead node runs a Runtime");
+  CSM_CHECK(nodes_ >= 1);
+  InitCtlSegment();
+}
+
+ShmTransport::~ShmTransport() {
+  if (cluster()) {
+    ctrl_.Send(CtrlMsg{CtrlKind::kShutdown, -1, 0, 0});
+  }
+  if (ctl_base_ != nullptr) {
+    munmap(ctl_base_, kPageBytes);
+  }
+  if (ctl_fd_ >= 0) {
+    close(ctl_fd_);
+  }
+}
+
+void ShmTransport::InitCtlSegment() {
+  // One page of control words; the ordered-op lock word sits at offset 0.
+  // The segment is memfd-backed so it can be fd-passed and mapped by peer
+  // processes — the lock word must be the same physical word everywhere.
+  ctl_fd_ = memfd_create("cashmere-shm-ctl", 0);
+  CSM_CHECK(ctl_fd_ >= 0);
+  CSM_CHECK(ftruncate(ctl_fd_, static_cast<off_t>(kPageBytes)) == 0);
+  void* p = mmap(nullptr, kPageBytes, PROT_READ | PROT_WRITE, MAP_SHARED, ctl_fd_, 0);
+  CSM_CHECK(p != MAP_FAILED);
+  ctl_base_ = static_cast<std::byte*>(p);
+  order_lock_ =
+      std::make_unique<SharedWordLock>(reinterpret_cast<std::uint32_t*>(ctl_base_));
+}
+
+std::unique_ptr<ShmTransport> ShmTransport::FromEnv() {
+  const char* fd_env = std::getenv("CSM_SHM_CTRL_FD");
+  if (fd_env == nullptr) {
+    return std::make_unique<ShmTransport>();
+  }
+  const char* nodes_env = std::getenv("CSM_SHM_NODES");
+  const char* node_env = std::getenv("CSM_SHM_NODE");
+  CSM_CHECK(nodes_env != nullptr && node_env != nullptr);
+  const int fd = std::atoi(fd_env);
+  CSM_CHECK(fd >= 0);
+  return std::make_unique<ShmTransport>(CtrlEndpoint(fd), std::atoi(nodes_env),
+                                        std::atoi(node_env));
+}
+
+std::uint32_t ShmTransport::Execute(const McOp& op) {
+  const std::uint64_t t0 = NowNs();
+  std::uint32_t prev = 0;
+  switch (op.kind) {
+    case McOpKind::kWrite32:
+      StoreWord32Release(op.dst, op.value);
+      break;
+    case McOpKind::kWriteStream:
+      CopyWords32(op.dst, op.src, op.words);
+      break;
+    case McOpKind::kWriteRun:
+      CopyWords32(static_cast<std::byte*>(op.dst) + op.offset_words * kWordBytes, op.src,
+                  op.words);
+      break;
+    case McOpKind::kOrderedBroadcast32: {
+      SharedWordLockGuard guard(*order_lock_);
+      StoreWord32Release(op.dst, op.value);
+      break;
+    }
+    case McOpKind::kOrderedExchange32: {
+      SharedWordLockGuard guard(*order_lock_);
+      prev = LoadWord32Acquire(op.dst);
+      StoreWord32Release(op.dst, op.value);
+      break;
+    }
+  }
+  wire_ns_.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+  return prev;
+}
+
+SegmentId ShmTransport::RegisterArena(const SegmentInfo& info, std::byte* local_base) {
+  const SegmentId seg = McTransport::RegisterArena(info, local_base);
+  // Peer-local creation index: the owning peer numbers the segments it
+  // created in order, and ArenaFdFor/RegisterArena run in that same order,
+  // so the index is the count of this owner's earlier registrations.
+  int idx = -1;
+  if (cluster() && info.owner != node_) {
+    idx = 0;
+    for (SegmentId s = 0; s < seg; ++s) {
+      if (segments_[s].owner == info.owner && peer_index_[s] >= 0) {
+        ++idx;
+      }
+    }
+  }
+  peer_index_.push_back(idx);
+  return seg;
+}
+
+int ShmTransport::ArenaFdFor(UnitId unit, std::size_t bytes) {
+  if (!cluster() || unit == node_ || unit >= nodes_) {
+    // Solo mode, our own node, or a unit beyond the process cluster (a
+    // shape with more coherence units than launched processes): the caller
+    // creates the segment locally. Still memfd + MAP_SHARED.
+    return -1;
+  }
+  const CtrlMsg req{CtrlKind::kSegCreate, static_cast<std::int32_t>(unit),
+                    static_cast<std::uint32_t>(bytes),
+                    static_cast<std::uint32_t>(bytes >> 32)};
+  CSM_CHECK(ctrl_.Send(req) && "shm control plane down during bootstrap");
+  CtrlMsg rep;
+  int fd = -1;
+  while (true) {
+    CSM_CHECK(ctrl_.Recv(&rep, &fd) && "peer died during segment bootstrap");
+    if (rep.kind == CtrlKind::kSegFd) {
+      CSM_CHECK(fd >= 0);
+      return fd;
+    }
+    if (fd >= 0) {
+      close(fd);
+    }
+  }
+}
+
+void ShmTransport::BeginBoot() {
+  McTransport::BeginBoot();
+  peer_index_.clear();
+  if (cluster()) {
+    CSM_CHECK(ctrl_.Send(CtrlMsg{CtrlKind::kSegReset, -1, 0, 0}));
+  }
+}
+
+void ShmTransport::BeginRun() {
+  if (cluster()) {
+    BarrierLastResort();
+  }
+}
+
+void ShmTransport::BarrierLastResort() {
+  CSM_CHECK(cluster());
+  CSM_CHECK(ctrl_.Send(CtrlMsg{CtrlKind::kBarrier, node_, 0, 0}));
+  CtrlMsg msg;
+  while (true) {
+    if (!ctrl_.Recv(&msg)) {
+      peers_verified_ = false;
+      CSM_CHECK(false && "shm barrier: control plane closed (peer crashed?)");
+    }
+    if (msg.kind == CtrlKind::kBarrierGo) {
+      return;
+    }
+  }
+}
+
+void ShmTransport::EndRun() {
+  if (!cluster()) {
+    return;
+  }
+  // Cross-process visibility proof: for every peer-hosted segment, compare
+  // our checksum of the mapping the run wrote through against the owning
+  // peer's checksum over its own independent mapping of the same memfd.
+  for (SegmentId s = 0; s < segments_.size(); ++s) {
+    if (peer_index_[s] < 0) {
+      continue;
+    }
+    const std::uint64_t local = Fnv64(bases_[s], segments_[s].bytes);
+    const CtrlMsg req{CtrlKind::kChecksum, static_cast<std::int32_t>(segments_[s].owner),
+                      static_cast<std::uint32_t>(peer_index_[s]), 0};
+    if (!ctrl_.Send(req)) {
+      peers_verified_ = false;
+      return;
+    }
+    CtrlMsg rep;
+    while (true) {
+      if (!ctrl_.Recv(&rep)) {
+        peers_verified_ = false;
+        return;
+      }
+      if (rep.kind == CtrlKind::kChecksumRep) {
+        break;
+      }
+    }
+    const std::uint64_t remote =
+        static_cast<std::uint64_t>(rep.a) | (static_cast<std::uint64_t>(rep.b) << 32);
+    if (remote != local) {
+      peers_verified_ = false;
+      std::fprintf(stderr,
+                   "shm EndRun: checksum mismatch on segment %u (owner %d): "
+                   "lead=%016llx peer=%016llx\n",
+                   s, segments_[s].owner, static_cast<unsigned long long>(local),
+                   static_cast<unsigned long long>(remote));
+    }
+  }
+}
+
+}  // namespace cashmere

@@ -1,0 +1,106 @@
+// ShmTransport: the multi-process shared-memory backend.
+//
+// One OS process per node. Arena segments are memfd_create regions created
+// by the process that owns the node and mapped (at whatever address the
+// kernel hands out) by every process that needs them, so a remote write
+// issued here really lands in another process's address space — the
+// PageFrameRef {segment, offset} indirection exists exactly because those
+// mappings disagree on addresses. Ordered operations serialize through a
+// SharedWordLock whose word lives in a shared control segment: unlike the
+// in-process SpinLock, that word is address-free and contendable from any
+// process of the cluster.
+//
+// Two modes:
+//   Cluster mode — entered when the launcher environment is present
+//     (CSM_SHM_CTRL_FD/CSM_SHM_NODES/CSM_SHM_NODE). This process is the
+//     lead node of a cashmere_launch cluster: peer processes host the
+//     other nodes' arena segments and serve the UDS control plane
+//     (mc/control_plane.hpp). ArenaFdFor asks the owning peer to create
+//     the segment and returns the SCM_RIGHTS-passed fd; BeginRun runs the
+//     barrier-of-last-resort; EndRun proves cross-process visibility by
+//     comparing this process's checksum of each remote segment against
+//     the owning peer's checksum over its own mapping; destruction sends
+//     kShutdown for clean teardown.
+//   Solo mode — no launcher: segments are created locally (still real
+//     memfd + MAP_SHARED) and the control plane is absent. This is the
+//     backend the parameterized transport tests run to pin Execute
+//     semantics without forking a cluster.
+//
+// v1 execution model (DESIGN.md §14): compute runs on the lead; peers are
+// segment hosts + control-plane servers. Spreading the processor threads
+// themselves across the peers (true SPMD) is the documented follow-up —
+// the transport API already carries everything it needs (frame refs,
+// fd-passed segments, the shared-word lock).
+#ifndef CASHMERE_MC_SHM_TRANSPORT_HPP_
+#define CASHMERE_MC_SHM_TRANSPORT_HPP_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "cashmere/mc/control_plane.hpp"
+#include "cashmere/mc/transport.hpp"
+#include "cashmere/sync/shared_word_lock.hpp"
+
+namespace cashmere {
+
+class ShmTransport final : public McTransport {
+ public:
+  // Solo mode.
+  ShmTransport();
+  // Cluster mode: `ctrl` connects to the launcher relay, `nodes` processes,
+  // this process is node `node` (v1: must be 0, the lead).
+  ShmTransport(CtrlEndpoint ctrl, int nodes, int node);
+  ~ShmTransport() override;
+
+  // Builds from the cashmere_launch environment if present, else solo.
+  static std::unique_ptr<ShmTransport> FromEnv();
+
+  const char* name() const override { return "shm"; }
+  bool cluster() const { return ctrl_.valid(); }
+  int cluster_processes() const override { return cluster() ? nodes_ : 1; }
+
+  std::uint32_t Execute(const McOp& op) override;
+
+  SegmentId RegisterArena(const SegmentInfo& info, std::byte* local_base) override;
+  int ArenaFdFor(UnitId unit, std::size_t bytes) override;
+
+  void BeginBoot() override;
+  void BeginRun() override;
+  void EndRun() override;
+
+  // Cluster-wide rendezvous through the launcher (the barrier of last
+  // resort): proves every peer process is alive and serving before/after a
+  // run, independent of the shared segments themselves.
+  void BarrierLastResort();
+
+  // Cumulative wall-clock nanoseconds spent executing ops — the measured
+  // wire time recorded alongside the virtual-time charges (BENCH_transport
+  // reports the per-op cost derived from it).
+  std::uint64_t wire_ns() const override {
+    return wire_ns_.load(std::memory_order_relaxed);
+  }
+  // False iff an EndRun checksum exchange found a peer whose view of a
+  // segment disagrees with ours (or a peer died mid-exchange).
+  bool peers_verified() const override { return peers_verified_; }
+
+ private:
+  void InitCtlSegment();
+
+  CtrlEndpoint ctrl_;          // invalid in solo mode
+  int nodes_ = 1;
+  int node_ = 0;
+  // Control segment: holds the ordered-op lock word (offset 0).
+  int ctl_fd_ = -1;
+  std::byte* ctl_base_ = nullptr;
+  std::unique_ptr<SharedWordLock> order_lock_;
+  // Per registered segment: creation index within its owning peer (the
+  // peer-local id a kChecksum probe names); -1 for locally-created segments.
+  std::vector<int> peer_index_;
+  std::atomic<std::uint64_t> wire_ns_{0};
+  bool peers_verified_ = true;
+};
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_MC_SHM_TRANSPORT_HPP_

@@ -1,0 +1,16 @@
+#include "cashmere/mc/transport.hpp"
+
+#include "cashmere/common/config.hpp"
+#include "cashmere/mc/inproc_transport.hpp"
+#include "cashmere/mc/shm_transport.hpp"
+
+namespace cashmere {
+
+std::unique_ptr<McTransport> MakeTransport(const Config& cfg) {
+  if (cfg.mc.transport == McTransportKind::kShm) {
+    return ShmTransport::FromEnv();
+  }
+  return std::make_unique<InProcTransport>();
+}
+
+}  // namespace cashmere

@@ -32,11 +32,12 @@ std::size_t ReplayDiffWire(const DiffWireSlot& slot, McHub& hub, std::byte* mast
   for (std::uint32_t r = 0; r < slot.nruns; ++r) {
     DiffRun run;
     // csm-lint: allow(raw-page-copy) -- deserializes a header out of the
-    // private wire slot into a local; page data flows through hub.WriteRun.
+    // private wire slot into a local; page data flows through hub.Issue.
     std::memcpy(&run, headers + static_cast<std::size_t>(r) * kDiffRunHeaderBytes,
                 kDiffRunHeaderBytes);
-    hub.WriteRun(master_base, run.offset_words, payload + cursor_words * kWordBytes,
-                 run.nwords, Traffic::kDiffData, header_bytes_per_run);
+    hub.Issue(McOp::Run(master_base, run.offset_words,
+                        payload + cursor_words * kWordBytes, run.nwords,
+                        Traffic::kDiffData, header_bytes_per_run));
     cursor_words += run.nwords;
   }
   return cursor_words * kWordBytes +

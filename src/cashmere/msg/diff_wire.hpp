@@ -5,7 +5,7 @@
 // the encoded diff — DiffRun headers followed by the payload snapshot — is
 // serialized into a per-processor wire buffer owned by the message layer,
 // and the apply side replays the runs directly from that image into the
-// home node's master copy (one McHub::WriteRun per run), never re-scanning
+// home node's master copy (one run McOp issued through the hub per run), never re-scanning
 // the page word-by-word on the receive side.
 //
 // The sender performs the replay synchronously, which is faithful to the
@@ -43,7 +43,7 @@ struct DiffWireSlot {
 std::size_t SerializeDiffRuns(PageId page, const DiffBuffer& diff, DiffWireSlot& slot);
 
 // Replays a serialized diff into the page frame at `master_base`: one
-// McHub::WriteRun per run, scattering exactly the modified words. Passes
+// run McOp issued through the hub per run, scattering exactly the modified words. Passes
 // `header_bytes_per_run` through to the hub's traffic accounting (0 keeps
 // the default payload-only accounting). Returns the wire bytes consumed,
 // surfaced as the kDiffRunApplyBytes statistic.

@@ -50,16 +50,23 @@ bool CashmereProtocol::UnitAtMaster(UnitId unit, PageId page) const {
   return false;
 }
 
+// Page frames are addressed base-relatively: the arena names the frame as
+// a position-independent {segment, offset} ref and the transport resolves
+// it through this process's mapping table (one inline indexed load — the
+// zero-cost fast path). Under the shm transport the same ref resolves to a
+// different address in every process that mapped the segment.
 std::byte* CashmereProtocol::MasterPtr(PageId page) const {
   const UnitId home = deps_.homes->HomeOfPage(page);
-  return (*deps_.arenas)[static_cast<std::size_t>(home)]->PagePtr(page);
+  const Arena& arena = *(*deps_.arenas)[static_cast<std::size_t>(home)];
+  return deps_.hub->transport().Resolve(arena.FrameOf(page));
 }
 
 std::byte* CashmereProtocol::WorkingPtr(UnitId unit, PageId page) const {
   if (UnitAtMaster(unit, page)) {
     return MasterPtr(page);
   }
-  return (*deps_.arenas)[static_cast<std::size_t>(unit)]->PagePtr(page);
+  const Arena& arena = *(*deps_.arenas)[static_cast<std::size_t>(unit)];
+  return deps_.hub->transport().Resolve(arena.FrameOf(page));
 }
 
 void CashmereProtocol::ProtectLocal(Context& ctx, PageLocal& pl, UnitId unit, int local_index,
@@ -203,7 +210,8 @@ void CashmereProtocol::HandleRequest(const Request& request) {
       // We are (a processor of) the page's home unit: write the master copy
       // into the requester's page read buffer.
       ReplySlot& slot = deps_.msg->SlotOf(request.from_proc);
-      deps_.hub->WriteStream(slot.data, MasterPtr(page), kWordsPerPage, Traffic::kPageData);
+      deps_.hub->Issue(
+          McOp::Stream(slot.data, MasterPtr(page), kWordsPerPage, Traffic::kPageData));
       deps_.msg->Complete(request.from_proc, request.seq, kReplyHasPage, ctx.clock().now());
       return;
     }
@@ -226,7 +234,8 @@ void CashmereProtocol::HandleRequest(const Request& request) {
       std::byte* working = WorkingPtr(ctx.unit(), page);
       if (!UnitAtMaster(ctx.unit(), page)) {
         // Flush the entire page to the home node (Section 2.4.1).
-        deps_.hub->WriteStream(MasterPtr(page), working, kWordsPerPage, Traffic::kPageData);
+        deps_.hub->Issue(
+            McOp::Stream(MasterPtr(page), working, kWordsPerPage, Traffic::kPageData));
         pl.flush_ts.store(us.Tick(), std::memory_order_release);
         ctx.stats().Add(Counter::kPageFlushes);
         ctx.clock().Charge(ctx.stats(), TimeCategory::kProtocol,
@@ -274,7 +283,8 @@ void CashmereProtocol::HandleRequest(const Request& request) {
       CommitPermBatch(ctx);
       // Piggyback the latest copy of the page to the requester.
       ReplySlot& slot = deps_.msg->SlotOf(request.from_proc);
-      deps_.hub->WriteStream(slot.data, working, kWordsPerPage, Traffic::kPageData);
+      deps_.hub->Issue(
+          McOp::Stream(slot.data, working, kWordsPerPage, Traffic::kPageData));
       deps_.msg->Complete(request.from_proc, request.seq, kReplyHasPage, ctx.clock().now());
       return;
     }
@@ -1395,11 +1405,12 @@ void CashmereProtocol::RelocateSuperpage(Context& ctx, std::size_t sp, UnitId ne
 
     PageLocal& npl = new_us.Page(page);
     SpinLockGuard new_guard(npl.lock);
-    // Move the master copy.
-    std::byte* old_master =
-        (*deps_.arenas)[static_cast<std::size_t>(old_home)]->PagePtr(page);
-    std::byte* new_master =
-        (*deps_.arenas)[static_cast<std::size_t>(new_home)]->PagePtr(page);
+    // Move the master copy (frame refs, resolved through the transport,
+    // like every other master access).
+    std::byte* old_master = deps_.hub->transport().Resolve(
+        (*deps_.arenas)[static_cast<std::size_t>(old_home)]->FrameOf(page));
+    std::byte* new_master = deps_.hub->transport().Resolve(
+        (*deps_.arenas)[static_cast<std::size_t>(new_home)]->FrameOf(page));
     CopyPage(new_master, old_master);
     deps_.hub->AccountWrite(Traffic::kPageData, kPageBytes);
     SetTwinTraced(npl, page, false);

@@ -14,7 +14,7 @@
 //  2. A run-length encoded diff format: maximal runs of consecutive
 //     modified words, `DiffRun{offset, nwords}` plus a payload snapshot.
 //     The runs are the unit in which outgoing diffs are written to the
-//     home node (`McHub::WriteRun`) and accounted, and the in-memory form
+//     home node (a run `McOp` through `McHub::Issue`) and accounted, and the in-memory form
 //     used by tests and benches.
 //  3. Per-page dirty-block bitmaps (`DirtyBlockMap`, owned by `TwinPool`):
 //     a conservative superset of the blocks where the working copy may

@@ -30,7 +30,7 @@ void ClusterLock::Acquire(Context& ctx) {
   SplitMix64 rng(static_cast<std::uint64_t>(ctx.proc()) * 0x9e37u + 1);
   std::uint64_t backoff_window = 8;
   while (true) {
-    hub_.OrderedBroadcast32(&entries_[unit], 1, Traffic::kSyncObject);
+    hub_.Issue(McOp::Broadcast(&entries_[unit], 1, Traffic::kSyncObject));
     // Loop-back: on the real MC, waiting for one's own write to return
     // through the hub guarantees that all earlier-ordered writes are
     // visible before the array is read. The memory-model equivalent is a
@@ -49,7 +49,7 @@ void ClusterLock::Acquire(Context& ctx) {
     if (sole) {
       break;
     }
-    hub_.OrderedBroadcast32(&entries_[unit], 0, Traffic::kSyncObject);
+    hub_.Issue(McOp::Broadcast(&entries_[unit], 0, Traffic::kSyncObject));
     // Randomized exponential backoff (livelock resistance among up to
     // kMaxNodes competitors); keep servicing requests while waiting.
     const auto spins = 1 + rng.NextBelow(backoff_window);
@@ -116,7 +116,7 @@ void ClusterLock::Release(Context& ctx) {
     TraceEmit(EventKind::kLockRelease, kNoTracePage, 0,
               static_cast<std::uint32_t>(trace_id_), ctx.clock().now());
   }
-  hub_.OrderedBroadcast32(&entries_[ctx.unit()], 0, Traffic::kSyncObject);
+  hub_.Issue(McOp::Broadcast(&entries_[ctx.unit()], 0, Traffic::kSyncObject));
   node_flag_[ctx.node()].store(false, std::memory_order_release);
 }
 

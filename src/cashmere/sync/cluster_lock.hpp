@@ -54,7 +54,7 @@ class ClusterLock {
   // Per-node test-and-set flags (ll/sc on the real system).
   std::atomic<bool> node_flag_[kMaxNodes] = {};
   // The replicated MC lock array: one word per unit. Entry u is written
-  // only by unit u (through McHub::OrderedBroadcast32, which serializes the
+  // only by unit u (through ordered-broadcast McOps, which serialize the
   // writes in MC total order); any unit may read any entry. This is what
   // makes the array lock-free on the network — no RMW ever crosses units.
   CSM_SINGLE_WRITER("unit u for entries_[u]")

@@ -1,0 +1,121 @@
+// SharedWordLock: a futex-or-spin mutual-exclusion lock whose entire state
+// is one 32-bit word in caller-owned memory — placeable in a shared memfd
+// segment and therefore usable across OS processes.
+//
+// The shm transport serializes MC's totally-ordered operations through one
+// of these in its control segment: unlike common/spin.hpp's SpinLock (whose
+// state is a process-private std::atomic_flag), a SharedWordLock's word is
+// address-free, so every process of the cluster contends on the same
+// physical word. Acquisition spins briefly (bounded exponential backoff, as
+// ordered-op critical sections are a handful of instructions), then parks
+// on futex(FUTEX_WAIT) so a descheduled or crashed lock holder does not
+// burn a core in every other process. Wake-ups use FUTEX_WAKE only when a
+// waiter announced itself (the kContended state), keeping the uncontended
+// path a single CAS each way.
+//
+// Lock-class and cross-process word-access rules: docs/concurrency.md
+// ("control-plane locks"). The word accesses go through the sanctioned
+// std::atomic_ref helpers in common/word_access.hpp.
+#ifndef CASHMERE_SYNC_SHARED_WORD_LOCK_HPP_
+#define CASHMERE_SYNC_SHARED_WORD_LOCK_HPP_
+
+#include <cstdint>
+
+#include "cashmere/common/spin.hpp"
+#include "cashmere/common/thread_safety.hpp"
+#include "cashmere/common/word_access.hpp"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace cashmere {
+
+// The three futex states (classic Drepper three-state mutex): transitions
+// kFree -> kHeld on an uncontended acquire; a blocked acquirer advertises
+// itself by moving the word to kContended so Unlock knows to FUTEX_WAKE.
+class CSM_CAPABILITY("mutex") SharedWordLock {
+ public:
+  static constexpr std::uint32_t kFree = 0;
+  static constexpr std::uint32_t kHeld = 1;
+  static constexpr std::uint32_t kContended = 2;
+
+  // `word` must be 4-byte aligned, zero-initialized, and mapped (possibly
+  // at different addresses) in every participating process.
+  explicit SharedWordLock(std::uint32_t* word) : word_(word) {}
+  SharedWordLock(const SharedWordLock&) = delete;
+  SharedWordLock& operator=(const SharedWordLock&) = delete;
+
+  void Lock() CSM_ACQUIRE() {
+    std::uint32_t expected = kFree;
+    if (CasWord32AcqRel(word_, expected, kHeld)) {
+      return;  // uncontended
+    }
+    LockSlow();
+  }
+
+  void Unlock() CSM_RELEASE() {
+    if (ExchangeWord32AcqRel(word_, kFree) == kContended) {
+      FutexWake();
+    }
+  }
+
+ private:
+  void LockSlow() {
+    // Spin with bounded backoff first: ordered-op critical sections are a
+    // few stores long, so the lock usually frees before parking pays off.
+    Backoff backoff;
+    for (int i = 0; i < kSpinRounds; ++i) {
+      std::uint32_t expected = kFree;
+      if (CasWord32AcqRel(word_, expected, kHeld)) {
+        return;
+      }
+      backoff.Pause();
+    }
+    // Park: advertise contention, then wait until the holder wakes us.
+    while (ExchangeWord32AcqRel(word_, kContended) != kFree) {
+      FutexWait(kContended);
+    }
+    // We now hold the lock but left the word at kContended, which makes the
+    // eventual Unlock issue one possibly-spurious wake. That is benign and
+    // required: another waiter may have parked between our exchange and now.
+  }
+
+  void FutexWait(std::uint32_t while_value) {
+#if defined(__linux__)
+    syscall(SYS_futex, word_, FUTEX_WAIT, while_value, nullptr, nullptr, 0);
+#else
+    // No futex: degrade to pure spinning (the "or-spin" half of the name).
+    sched_yield();
+    (void)while_value;
+#endif
+  }
+
+  void FutexWake() {
+#if defined(__linux__)
+    syscall(SYS_futex, word_, FUTEX_WAKE, 1, nullptr, nullptr, 0);
+#endif
+  }
+
+  static constexpr int kSpinRounds = 128;
+  std::uint32_t* const word_;
+};
+
+class CSM_SCOPED_CAPABILITY SharedWordLockGuard {
+ public:
+  explicit SharedWordLockGuard(SharedWordLock& lock) CSM_ACQUIRE(lock) : lock_(lock) {
+    lock_.Lock();
+  }
+  ~SharedWordLockGuard() CSM_RELEASE() { lock_.Unlock(); }
+  SharedWordLockGuard(const SharedWordLockGuard&) = delete;
+  SharedWordLockGuard& operator=(const SharedWordLockGuard&) = delete;
+
+ private:
+  SharedWordLock& lock_;
+};
+
+}  // namespace cashmere
+
+#endif  // CASHMERE_SYNC_SHARED_WORD_LOCK_HPP_

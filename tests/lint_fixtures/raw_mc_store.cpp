@@ -1,0 +1,30 @@
+// Known-bad fixture: raw stores into a registered shared segment from
+// protocol code. PagePtr/protocol_base mint a raw pointer into an arena
+// segment — a store through it bypasses the McHub::Issue accounting funnel,
+// and under the shm backend silently assumes this process's mapping (the
+// same frame lives at a different address in every other node process).
+// Protocol code must name frames as PageFrameRef (Arena::FrameOf) and
+// resolve through McTransport::Resolve.
+//
+// csm-lint-domain: protocol
+// csm-lint-expect: raw-mc-write  (PagePtr call minting the raw pointer)
+// csm-lint-expect: raw-mc-write  (protocol_base arithmetic doing the same)
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+struct FakeArena {
+  std::byte* PagePtr(std::uint32_t page) const;
+  std::byte* protocol_base() const;
+};
+
+void StoreWord32Release(void* p, std::uint32_t v);
+
+void BadDirectStores(const FakeArena& arena, std::uint32_t page) {
+  std::byte* frame = arena.PagePtr(page);  // raw pointer into the segment
+  StoreWord32Release(frame, 1u);
+  StoreWord32Release(arena.protocol_base() + 64, 2u);  // same, by hand
+}
+
+}  // namespace fixture

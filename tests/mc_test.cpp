@@ -1,6 +1,6 @@
-// Unit tests for the Memory Channel simulator: word atomicity, ordered
-// broadcast, traffic accounting, and the lock-array use case the
-// synchronization layer depends on.
+// Unit tests for the Memory Channel layer: word atomicity, ordered
+// broadcast, traffic accounting through the single Issue() funnel, and the
+// lock-array use case the synchronization layer depends on.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -15,7 +15,7 @@ namespace {
 TEST(McHubTest, Write32AppliesValueAndAccountsTraffic) {
   McHub hub(8);
   std::uint32_t word = 0;
-  hub.Write32(&word, 0xdeadbeef, Traffic::kWriteNotice);
+  hub.Issue(McOp::Word(&word, 0xdeadbeef, Traffic::kWriteNotice));
   EXPECT_EQ(LoadWord32(&word), 0xdeadbeefu);
   EXPECT_EQ(hub.BytesSent(Traffic::kWriteNotice), kWordBytes);
   EXPECT_EQ(hub.WritesSent(Traffic::kWriteNotice), 1u);
@@ -24,7 +24,7 @@ TEST(McHubTest, Write32AppliesValueAndAccountsTraffic) {
 TEST(McHubTest, OrderedBroadcastAccountsPerReplica) {
   McHub hub(8);
   std::uint32_t word = 0;
-  hub.OrderedBroadcast32(&word, 7, Traffic::kDirectory);
+  hub.Issue(McOp::Broadcast(&word, 7, Traffic::kDirectory));
   EXPECT_EQ(LoadWord32(&word), 7u);
   // Broadcast traffic counts one word per replica (8 nodes).
   EXPECT_EQ(hub.BytesSent(Traffic::kDirectory), 8 * kWordBytes);
@@ -37,7 +37,7 @@ TEST(McHubTest, WriteStreamMovesWholePages) {
   for (std::size_t i = 0; i < kWordsPerPage; ++i) {
     src[i] = static_cast<std::uint32_t>(i * 3 + 1);
   }
-  hub.WriteStream(dst.data(), src.data(), kWordsPerPage, Traffic::kPageData);
+  hub.Issue(McOp::Stream(dst.data(), src.data(), kWordsPerPage, Traffic::kPageData));
   EXPECT_EQ(src, dst);
   EXPECT_EQ(hub.BytesSent(Traffic::kPageData), kPageBytes);
 }
@@ -56,8 +56,53 @@ TEST(McHubTest, DataBytesCountsOnlyDataClasses) {
 TEST(McHubTest, OrderedExchangeReturnsPrevious) {
   McHub hub(4);
   std::uint32_t word = 11;
-  EXPECT_EQ(hub.OrderedExchange32(&word, 22, Traffic::kSyncObject), 11u);
+  EXPECT_EQ(hub.Issue(McOp::Exchange(&word, 22, Traffic::kSyncObject)), 11u);
   EXPECT_EQ(LoadWord32(&word), 22u);
+}
+
+// Regression pin for the Issue() refactor: the per-call accounting that
+// used to live in Write32/WriteStream/WriteRun/OrderedBroadcast32/
+// OrderedExchange32 now derives from McOp::WireBytes in one funnel. This
+// fixed op sequence must charge exactly the bytes and write counts the
+// per-method arithmetic charged before the transport seam existed —
+// deterministic-app counter reports stay byte-identical iff this holds.
+TEST(McHubTest, InprocCountersMatchPrePluggableAccounting) {
+  constexpr int kUnits = 8;
+  McHub hub(kUnits);
+  EXPECT_STREQ(hub.transport().name(), "inproc");
+
+  std::uint32_t word = 0;
+  std::vector<std::uint32_t> page(kWordsPerPage, 0);
+  std::vector<std::uint32_t> src(kWordsPerPage, 0x12345678);
+
+  hub.Issue(McOp::Word(&word, 1, Traffic::kWriteNotice));
+  hub.Issue(McOp::Stream(page.data(), src.data(), kWordsPerPage, Traffic::kPageData));
+  // A 7-word diff run with the 8-byte framing header charged (the
+  // diff.charge_run_headers cost variant's WriteRun signature).
+  hub.Issue(McOp::Run(page.data(), 3, src.data(), 7, Traffic::kDiffData,
+                      /*header_bytes=*/8));
+  // And one without framing (the default).
+  hub.Issue(McOp::Run(page.data(), 64, src.data(), 5, Traffic::kDiffData));
+  hub.Issue(McOp::Broadcast(&word, 2, Traffic::kDirectory));
+  hub.Issue(McOp::Exchange(&word, 3, Traffic::kSyncObject));
+
+  // Pre-PR arithmetic: Write32 -> kWordBytes; WriteStream -> words*4;
+  // WriteRun -> nwords*4 + header_bytes; ordered ops -> kWordBytes*units.
+  // One write count per call regardless of size.
+  EXPECT_EQ(hub.BytesSent(Traffic::kWriteNotice), kWordBytes);
+  EXPECT_EQ(hub.WritesSent(Traffic::kWriteNotice), 1u);
+  EXPECT_EQ(hub.BytesSent(Traffic::kPageData), kPageBytes);
+  EXPECT_EQ(hub.WritesSent(Traffic::kPageData), 1u);
+  EXPECT_EQ(hub.BytesSent(Traffic::kDiffData), 7u * kWordBytes + 8u + 5u * kWordBytes);
+  EXPECT_EQ(hub.WritesSent(Traffic::kDiffData), 2u);
+  EXPECT_EQ(hub.BytesSent(Traffic::kDirectory), kUnits * kWordBytes);
+  EXPECT_EQ(hub.WritesSent(Traffic::kDirectory), 1u);
+  EXPECT_EQ(hub.BytesSent(Traffic::kSyncObject), kUnits * kWordBytes);
+  EXPECT_EQ(hub.WritesSent(Traffic::kSyncObject), 1u);
+  EXPECT_EQ(hub.TotalBytes(), kWordBytes + kPageBytes + 7u * kWordBytes + 8u +
+                                  5u * kWordBytes + 2u * kUnits * kWordBytes);
+  EXPECT_EQ(hub.DataBytes(), kPageBytes + 7u * kWordBytes + 8u + 5u * kWordBytes +
+                                 kWordBytes);
 }
 
 // MC guarantees that two writes to the same region appear in the same order
@@ -72,7 +117,7 @@ TEST(McHubTest, OrderedBroadcastArbitratesConcurrentClaims) {
     std::vector<std::thread> threads;
     for (int me = 0; me < 2; ++me) {
       threads.emplace_back([&, me] {
-        hub.OrderedBroadcast32(&slots[me], 1, Traffic::kSyncObject);
+        hub.Issue(McOp::Broadcast(&slots[me], 1, Traffic::kSyncObject));
         const bool alone = LoadWord32(&slots[1 - me]) == 0;
         if (alone) {
           winners.fetch_add(1);

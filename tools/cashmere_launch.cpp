@@ -1,0 +1,142 @@
+// cashmere_launch: run a cashmere driver as a multi-process shm cluster.
+//
+//   cashmere_launch -n N -- <command> [args...]
+//
+// Forks N-1 peer processes (arena-segment hosts + control-plane servers,
+// unit ids 1..N-1), then fork+execs <command> as the lead node with the
+// environment contract ShmTransport::FromEnv reads:
+//
+//   CSM_SHM_CTRL_FD   control-plane socket to the launcher relay
+//   CSM_SHM_NODES=N   cluster size in OS processes
+//   CSM_SHM_NODE=0    this process's node id (the lead)
+//   CSM_TRANSPORT=shm selects the backend in drivers that honor it
+//
+// The launcher runs the star relay between lead and peers (segment fd
+// passing, checksum probes, the barrier of last resort) and enforces the
+// failure model: any child exiting before the lead's kShutdown gets the
+// whole cluster killed and the launcher exits nonzero. Exit status is the
+// lead's when the cluster tore down cleanly, 1 otherwise.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cashmere/common/types.hpp"
+#include "cashmere/mc/control_plane.hpp"
+
+extern char** environ;
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s -n <nodes 1..%d> -- <command> [args...]\n"
+               "runs <command> as the lead node of an shm cluster of <nodes>\n"
+               "OS processes (the other nodes host arena segments).\n",
+               argv0, cashmere::kMaxNodes);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using cashmere::CtrlEndpoint;
+  using cashmere::ShmLauncher;
+
+  int nodes = 0;
+  int cmd_start = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-n") == 0 && i + 1 < argc) {
+      nodes = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--") == 0) {
+      cmd_start = i + 1;
+      break;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (nodes < 1 || nodes > cashmere::kMaxNodes || cmd_start < 0 || cmd_start >= argc) {
+    Usage(argv[0]);
+  }
+
+  ShmLauncher launcher;
+  if (!launcher.Start(nodes)) {
+    std::fprintf(stderr, "cashmere_launch: failed to start %d-node cluster\n", nodes);
+    return 1;
+  }
+  CtrlEndpoint lead_ep = launcher.TakeLeadEndpoint();
+
+  // Assemble argv/envp for the lead before forking: the parent's relay
+  // thread is already running, so the child may only use async-signal-safe
+  // calls between fork and exec.
+  std::vector<char*> cmd_argv;
+  for (int i = cmd_start; i < argc; ++i) {
+    cmd_argv.push_back(argv[i]);
+  }
+  cmd_argv.push_back(nullptr);
+  std::vector<std::string> env_store;
+  for (char** e = environ; *e != nullptr; ++e) {
+    if (std::strncmp(*e, "CSM_SHM_", 8) == 0 ||
+        std::strncmp(*e, "CSM_TRANSPORT=", 14) == 0) {
+      continue;  // replaced below
+    }
+    env_store.emplace_back(*e);
+  }
+  env_store.push_back("CSM_SHM_CTRL_FD=" + std::to_string(lead_ep.fd()));
+  env_store.push_back("CSM_SHM_NODES=" + std::to_string(nodes));
+  env_store.push_back("CSM_SHM_NODE=0");
+  env_store.push_back("CSM_TRANSPORT=shm");
+  std::vector<char*> envp;
+  envp.reserve(env_store.size() + 1);
+  for (std::string& e : env_store) {
+    envp.push_back(e.data());
+  }
+  envp.push_back(nullptr);
+
+  const pid_t lead_pid = fork();
+  if (lead_pid < 0) {
+    std::perror("cashmere_launch: fork");
+    return 1;
+  }
+  if (lead_pid == 0) {
+    // Lead child: drop the inherited launcher-side fds (EOF must track
+    // process death), keep only our control endpoint, and exec.
+    launcher.CloseLauncherFdsInChild();
+    execvpe(cmd_argv[0], cmd_argv.data(), envp.data());
+    // Only reached on failure; write(2)-level reporting, then _exit.
+    std::perror("cashmere_launch: exec");
+    _exit(127);
+  }
+  // Parent: the child owns the lead endpoint now; close our copy so the
+  // relay sees EOF if the lead dies without kShutdown.
+  lead_ep = CtrlEndpoint();
+
+  // Blocks until the lead's kShutdown drains the peers out — or a crash
+  // kills the cluster. Crash propagation reaches a blocked lead through
+  // its control-socket EOF, so no extra signalling is needed here.
+  const bool peers_clean = launcher.Join();
+
+  int lead_status = 0;
+  while (waitpid(lead_pid, &lead_status, 0) < 0 && errno == EINTR) {
+  }
+  const bool lead_clean = WIFEXITED(lead_status) && WEXITSTATUS(lead_status) == 0;
+  if (!peers_clean) {
+    std::fprintf(stderr, "cashmere_launch: cluster tore down uncleanly\n");
+  }
+  if (WIFSIGNALED(lead_status)) {
+    std::fprintf(stderr, "cashmere_launch: lead killed by signal %d\n",
+                 WTERMSIG(lead_status));
+  }
+  if (lead_clean && peers_clean) {
+    return 0;
+  }
+  return WIFEXITED(lead_status) && WEXITSTATUS(lead_status) != 0
+             ? WEXITSTATUS(lead_status)
+             : 1;
+}

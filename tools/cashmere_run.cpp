@@ -32,7 +32,9 @@ using namespace cashmere;
                "          [--size test|bench|large] [--home-opt] [--interrupts]\n"
                "          [--no-first-touch] [--async] [--no-async]\n"
                "          [--dir replicated|sharded] [--cost-scale auto|<float>]\n"
-               "          [--list]\n",
+               "          [--transport inproc|shm] [--list]\n"
+               "  (CSM_TRANSPORT=inproc|shm sets the default backend; the flag\n"
+               "   wins. shm under tools/cashmere_launch spans OS processes.)\n",
                argv0, names.c_str());
   std::exit(2);
 }
@@ -61,6 +63,15 @@ int main(int argc, char** argv) {
   int procs = 32;
   int ppn = 4;
   int size_class = kSizeBench;
+
+  // Environment default first, so cashmere_launch can select the shm
+  // backend without rewriting the lead's command line; an explicit
+  // --transport flag overrides it below.
+  if (!ApplyTransportEnv(&cfg)) {
+    std::fprintf(stderr, "unknown CSM_TRANSPORT '%s' (want inproc|shm)\n",
+                 std::getenv("CSM_TRANSPORT"));
+    return 2;
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -108,6 +119,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--cost-scale") {
       const std::string s = next();
       cfg.cost.scale = s == "auto" ? 0.0 : std::atof(s.c_str());
+    } else if (arg == "--transport") {
+      if (!ParseTransportKind(next(), &cfg.mc.transport)) {
+        Usage(argv[0]);
+      }
     } else if (arg == "--list") {
       for (const std::string& name : App::Names()) {
         auto app = App::Create(name, size_class);
@@ -136,7 +151,14 @@ int main(int argc, char** argv) {
               r.verified ? "VERIFIED" : "VERIFICATION FAILED");
   std::printf("  sequential (Alpha-equivalent): %.4f s\n", r.seq_alpha_seconds);
   std::printf("  parallel (virtual):            %.4f s\n", r.report.ExecTimeSec());
-  std::printf("  speedup:                       %.2f\n\n", r.speedup);
+  std::printf("  speedup:                       %.2f\n", r.speedup);
+  if (cfg.mc.transport == McTransportKind::kShm) {
+    std::printf("  shm wire time (wall clock):    %.4f s\n",
+                static_cast<double>(r.wire_ns) / 1e9);
+    std::printf("  shm peer segments:             %s\n",
+                r.transport_verified ? "verified" : "CHECKSUM MISMATCH");
+  }
+  std::printf("\n");
   std::printf("%s", r.report.ToString().c_str());
   return r.verified ? 0 : 1;
 }

@@ -220,6 +220,13 @@ int main(int argc, char** argv) {
   Config cfg;
   cfg.cost.scale = 1.0;  // counters, not modeled time, are what tracing reads
   cfg.trace.enabled = true;
+  // Honor CSM_TRANSPORT so the shm-smoke CI job can push a launched
+  // cluster's run through the trace checker unchanged.
+  if (!ApplyTransportEnv(&cfg)) {
+    std::fprintf(stderr, "unknown CSM_TRANSPORT '%s' (want inproc|shm)\n",
+                 std::getenv("CSM_TRANSPORT"));
+    return 2;
+  }
   int procs = 32;
   int ppn = 4;
   int size_class = kSizeTest;

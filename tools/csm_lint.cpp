@@ -49,6 +49,18 @@
 //                        funnel (the two waived stores); a stray store
 //                        bypasses the entry's MC write order and the
 //                        claimant-snapshot arbitration.
+//   raw-mc-write         `.PagePtr(` / `->PagePtr(` / `.protocol_base(` /
+//                        `->protocol_base(` in the shared-memory domains
+//                        outside src/cashmere/mc/. These calls mint a raw
+//                        pointer into a registered shared segment — the
+//                        step that precedes a direct store bypassing the
+//                        McHub::Issue funnel (and, under the shm backend,
+//                        silently assuming this process's mapping).
+//                        Protocol code names frames position-independently
+//                        (Arena::FrameOf -> PageFrameRef) and resolves
+//                        through McTransport::Resolve; only the mc/ layer
+//                        and the registration site in runtime/ touch raw
+//                        segment bases.
 //
 // Waivers: a finding is suppressed by a same-line or immediately-preceding
 //   // csm-lint: allow(<rule>) -- <justification>
@@ -93,6 +105,7 @@ struct FileInfo {
   bool fault_path = false;            // fault_dispatcher.*
   bool word_access = false;           // the sanctioned atomics site
   bool vm_dir = false;                // vm/ — View::Protect's home layer
+  bool mc_dir = false;                // mc/ — the transport layer itself
   bool dir_home = false;              // directory.{cpp,hpp} — Directory's own file
   bool dir_sharded = false;           // directory_sharded.* — sharded backend
   std::vector<std::string> expects;   // fixture expectations
@@ -304,6 +317,16 @@ void LintFile(const FileInfo& f, const std::string& display_path,
                       s.find("->Protect(") != std::string::npos)) {
       report(i, "raw-view-protect");
     }
+    // Same boundary trick as raw-view-protect: the leading '.'/'->' and the
+    // trailing '(' bound the member-call needles. Arena's own inline
+    // definitions don't match (no '.'/'->' prefix on a declaration).
+    if (f.copy_domain && !f.mc_dir &&
+        (s.find(".PagePtr(") != std::string::npos ||
+         s.find("->PagePtr(") != std::string::npos ||
+         s.find(".protocol_base(") != std::string::npos ||
+         s.find("->protocol_base(") != std::string::npos)) {
+      report(i, "raw-mc-write");
+    }
     // Same boundary trick as raw-view-protect. `->WriteAndSnapshot(` does
     // not double-fire the `->Write(` needle (next char is 'A', not '(').
     if (f.copy_domain && !f.dir_home &&
@@ -360,6 +383,7 @@ bool LoadFile(const fs::path& path, FileInfo* out) {
   out->fault_path = name.rfind("fault_dispatcher", 0) == 0;
   out->word_access = name == "word_access.hpp";
   out->vm_dir = generic.find("/vm/") != std::string::npos;
+  out->mc_dir = generic.find("/mc/") != std::string::npos;
   out->dir_home = name == "directory.cpp" || name == "directory.hpp";
   out->dir_sharded = name.rfind("directory_sharded", 0) == 0;
   // Fixture directives override path classification.
@@ -372,6 +396,7 @@ bool LoadFile(const fs::path& path, FileInfo* out) {
                          domain == "vm" || domain == "dir-sharded";
       out->fault_path = domain == "fault-path";
       out->vm_dir = domain == "vm";
+      out->mc_dir = domain == "mc";
       out->dir_sharded = domain == "dir-sharded";
     }
     at = raw.find("csm-lint-expect:");
