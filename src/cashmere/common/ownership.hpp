@@ -121,6 +121,8 @@ inline void CsmAssertUnitWriter(UnitId unit, const char* what) {
   const auto& id = ownership_internal::t_identity;
   if (id.unit < 0 || id.override_depth > 0) return;
   if (id.unit != unit) {
+    // csm-lint: allow(fault-path-signal-safety) -- violation diagnostic
+    // immediately before std::abort; the process dies either way
     std::fprintf(stderr,
                  "cashmere ownership violation: %s: unit %d wrote a "
                  "single-writer value owned by unit %d\n",

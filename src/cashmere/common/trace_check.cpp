@@ -27,6 +27,9 @@ struct Checker {
   void Issue(std::size_t index, std::string message) {
     result.ok = false;
     if (result.issues.size() < TraceCheckResult::kMaxIssues) {
+      // csm-lint: allow(fault-path-signal-safety) -- name-based call
+      // resolution aliases this Issue with McHub::Issue; the checker runs
+      // in the offline trace validator, never on the fault path
       result.issues.push_back({index, std::move(message)});
     }
   }

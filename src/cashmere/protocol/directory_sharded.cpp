@@ -45,8 +45,13 @@ std::uint32_t* ShardedDirectory::EnsureSegment(PageId page) {
     return seg;
   }
   // Value-initialized: an untouched word is packed DirWord{} (invalid).
+  // csm-lint: allow(fault-path-signal-safety) -- first-touch segment
+  // allocation can run under a fault; it happens once per segment, and
+  // preallocating in sigsegv mode is an open ROADMAP item
   auto storage = std::make_unique<std::uint32_t[]>(segment_words_);
   seg = storage.get();
+  // csm-lint: allow(fault-path-signal-safety) -- same one-time segment
+  // bookkeeping as the allocation above
   owned_segments_.push_back(std::move(storage));
   segments_allocated_.fetch_add(1, std::memory_order_relaxed);
   // Release pairs with SegmentFor's acquire: a reader that sees the

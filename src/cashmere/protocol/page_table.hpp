@@ -152,6 +152,9 @@ class PageList {
       return false;
     }
     word.fetch_or(mask, std::memory_order_relaxed);
+    // csm-lint: allow(fault-path-signal-safety) -- pages_ is reserved to
+    // capacity at construction and the bitmap dedup bounds growth, so this
+    // push_back never allocates
     pages_.push_back(page);
     return true;
   }

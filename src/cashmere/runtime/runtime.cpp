@@ -198,6 +198,9 @@ bool Runtime::HandleFault(void* addr, bool is_write) {
     // mappings on the real system), so crash loudly.
     for (ProcId p = 0; p < cfg_.total_procs(); ++p) {
       if (p != ctx->proc() && views_[static_cast<std::size_t>(p)]->Contains(addr)) {
+        // csm-lint: allow(fault-path-signal-safety) -- program-error
+        // diagnostic on the crash path: the faulting thread touched
+        // another processor's view and cannot continue
         std::fprintf(stderr,
                      "cashmere: processor %d touched processor %d's view at %p\n",
                      ctx->proc(), p, addr);

@@ -36,6 +36,7 @@ FaultDispatcher& FaultDispatcher::Instance() {
   // csm-lint: allow(fault-path-blocking) -- one-time lazy init; the first
   // call is always Register (before any fault can dispatch), so OnSignal
   // only ever sees the already-constructed instance.
+  // csm-lint: allow(fault-path-signal-safety) -- same one-time init as above
   static FaultDispatcher* instance = new FaultDispatcher();
   return *instance;
 }
@@ -85,6 +86,8 @@ void FaultDispatcher::OnSignal(int signo, void* info, void* ucontext) {
     }
   }
   // Not ours: restore the previous disposition and re-raise for a real crash.
+  // csm-lint: allow(fault-path-signal-safety) -- crash-path diagnostic just
+  // before re-raising the signal under the previous disposition
   std::fprintf(stderr, "cashmere: unhandled SIGSEGV at %p (%s)\n", addr,
                is_write ? "write" : "read");
   sigaction(SIGSEGV, &g_previous_action, nullptr);

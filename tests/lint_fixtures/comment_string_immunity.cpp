@@ -1,0 +1,32 @@
+// csm-lint-domain: protocol
+// csm-lint-expect: none
+//
+// Every rule needle below sits inside a comment or a string literal; the
+// token stream must not fire on any of them (the old per-line regex pass
+// tripped on several). The waiver-shaped string pins that waivers are
+// parsed from comment text only — it must neither suppress anything nor be
+// reported stale.
+
+// memcpy(frame, src, 4096) — prose mention of the banned call
+// std::atomic_ref<std::uint32_t>(word).store(v) — more prose
+/* view.Protect(page, 3) and dir->Write(page, word) and hub.PagePtr(frame)
+   spanning a block comment; std::mutex too. */
+
+static const char* kDoc =
+    "memcpy into pages is banned; use StoreWord32";  // string: no finding
+static const char* kCast = "reinterpret_cast<std::uint64_t*>(frame)";
+static const char* kUrl = "http://example.com//path";  // '//' in a string
+static const char* kFake =
+    "// csm-lint: allow(raw-page-copy) -- not a waiver, just a string";
+static const char* kRaw = R"lint(
+  memset(frame, 0, 4096);
+  view.Protect(page, 3);
+  dir->Write(page, word);
+  std::fill(frame, frame + 1024, 0u);
+)lint";
+
+const char* Doc() { return kDoc; }
+const char* Cast() { return kCast; }
+const char* Url() { return kUrl; }
+const char* Fake() { return kFake; }
+const char* Raw() { return kRaw; }

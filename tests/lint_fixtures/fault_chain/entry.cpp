@@ -1,0 +1,43 @@
+// csm-lint-domain: fault-path
+// csm-lint-expect: none
+//
+// Interprocedural fixture (fault_chain/): the fault-dispatcher entry point
+// OnSignal below reaches HelperInstall in helper.cpp across the file
+// boundary, where a signal-unsafe allocation must be flagged (the expect
+// lives in helper.cpp). The SpinLock path here — whose backoff sleeps — is
+// the sanctioned wait primitive: its file-local finding is waived and the
+// interprocedural walk stops at the allowlisted class, so nothing fires in
+// this file.
+
+struct SpinLock {
+  void Lock() {
+    while (!TryAcquire()) {
+      // csm-lint: allow(fault-path-blocking) -- SpinLock backoff is the
+      // sanctioned wait primitive on the fault path
+      usleep(1);
+    }
+  }
+  void Unlock();
+  bool TryAcquire();
+};
+
+struct SpinLockGuard {
+  explicit SpinLockGuard(SpinLock& l) : lock_(l) { lock_.Lock(); }
+  ~SpinLockGuard() { lock_.Unlock(); }
+  SpinLock& lock_;
+};
+
+SpinLock g_trace_lock;
+int g_trace_slot;
+
+void GuardedTrace(int value) {
+  SpinLockGuard guard(g_trace_lock);
+  g_trace_slot = value;
+}
+
+void HelperInstall(unsigned bytes);  // defined in helper.cpp
+
+void OnSignal(int signo, void* info, void* ucontext) {
+  GuardedTrace(signo);
+  HelperInstall(64u);
+}

@@ -1,0 +1,14 @@
+// csm-lint-domain: protocol
+// csm-lint-expect: fault-path-signal-safety
+//
+// Reached from fault_chain/entry.cpp's OnSignal through the extern
+// declaration: the allocation below is one call-graph hop from the SIGSEGV
+// entry point and must be flagged even though this file, on its own,
+// carries no fault-path marking (the file-local fault-path-blocking rule
+// never looks here — only the interprocedural walk can catch it).
+
+static char* g_scratch;
+
+void HelperInstall(unsigned bytes) {
+  g_scratch = new char[bytes];
+}

@@ -1,0 +1,30 @@
+// csm-lint-domain: vm
+// csm-lint-expect: lock-order
+//
+// Holding the view commit lock (a never-nest leaf) while calling into
+// TakePageLock (page_holder.cpp): the call-graph walk must flag the
+// transitive page-lock acquisition as a page-lock-first inversion even
+// though the acquire site lives in the other file.
+
+struct SpinLock {
+  void Lock();
+  void Unlock();
+};
+
+struct SpinLockGuard {
+  explicit SpinLockGuard(SpinLock& l) : lock_(l) { lock_.Lock(); }
+  ~SpinLockGuard() { lock_.Unlock(); }
+  SpinLock& lock_;
+};
+
+struct PageLocal;
+struct View {
+  SpinLock commit_lock_;
+};
+
+void TakePageLock(PageLocal& pl);  // defined in page_holder.cpp
+
+void BadCommitThenPage(View& v, PageLocal& pl) {
+  SpinLockGuard guard(v.commit_lock_);
+  TakePageLock(pl);
+}

@@ -1,0 +1,26 @@
+// csm-lint-domain: vm
+// csm-lint-expect: lock-order
+//
+// Two view commit locks in one scope: the commit lock is a never-nest
+// leaf, so the second acquisition must be flagged regardless of which
+// view's lock comes first.
+
+struct SpinLock {
+  void Lock();
+  void Unlock();
+};
+
+struct SpinLockGuard {
+  explicit SpinLockGuard(SpinLock& l) : lock_(l) { lock_.Lock(); }
+  ~SpinLockGuard() { lock_.Unlock(); }
+  SpinLock& lock_;
+};
+
+struct View {
+  SpinLock commit_lock_;
+};
+
+void BadDoubleCommit(View& a, View& b) {
+  SpinLockGuard first(a.commit_lock_);
+  SpinLockGuard second(b.commit_lock_);  // leaf under itself
+}

@@ -1,0 +1,35 @@
+// csm-lint-expect: none
+//
+// Cross-file lock-order fixture (lock_order/): TakePageLock is the
+// page-lock-acquiring callee that commit_holder.cpp reaches while holding
+// a view commit lock (the inversion is reported there, at the call site).
+// Everything in this file is legitimate: taking a page lock with nothing
+// held, and nesting page under page (the superpage-relocation pattern the
+// lock table explicitly allows).
+
+struct SpinLock {
+  void Lock();
+  void Unlock();
+};
+
+struct SpinLockGuard {
+  explicit SpinLockGuard(SpinLock& l) : lock_(l) { lock_.Lock(); }
+  ~SpinLockGuard() { lock_.Unlock(); }
+  SpinLock& lock_;
+};
+
+struct PageLocal {
+  SpinLock lock;
+  unsigned perm;
+};
+
+void TakePageLock(PageLocal& pl) {
+  SpinLockGuard guard(pl.lock);
+  pl.perm = 0;
+}
+
+void RelocatePair(PageLocal& old_pl, PageLocal& new_pl) {
+  SpinLockGuard old_guard(old_pl.lock);
+  SpinLockGuard new_guard(new_pl.lock);  // page under page: allowed
+  new_pl.perm = old_pl.perm;
+}

@@ -1,0 +1,19 @@
+// csm-lint-domain: protocol
+// csm-lint-expect: stale-waiver
+// csm-lint-expect: raw-page-copy
+//
+// Waiver hygiene: the first waiver suppresses a real finding and stays
+// quiet; the second covers a line its rule no longer fires on (the copy it
+// once excused was replaced by a helper call), so it must be reported
+// stale before it rots into a blanket permission; the memmove at the end
+// is a live, unwaived finding.
+
+void Fill(char* dst, const char* src, unsigned n);
+
+void CopyIn(char* dst, const char* src, unsigned n) {
+  // csm-lint: allow(raw-page-copy) -- private staging buffer, not a page
+  memcpy(dst, src, n);
+  // csm-lint: allow(raw-page-copy) -- stale: the copy here was replaced
+  Fill(dst, src, n);
+  memmove(dst, src, n);
+}

@@ -1,0 +1,201 @@
+// Unit tests for the csm_lint lexer (tools/lint/lexer.*): the lexical
+// corner cases the old per-line regex pass got wrong — raw strings,
+// escaped quotes, line continuations, comment markers inside literals,
+// and block comments spanning waiver windows.
+#include "lint/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace {
+
+using csmlint::Lex;
+using csmlint::LexedFile;
+using csmlint::TokKind;
+
+std::vector<std::string> IdentTexts(const LexedFile& lf) {
+  std::vector<std::string> out;
+  for (const auto& t : lf.tokens) {
+    if (t.kind == TokKind::kIdent) {
+      out.push_back(t.text);
+    }
+  }
+  return out;
+}
+
+bool HasIdent(const LexedFile& lf, const std::string& name) {
+  for (const auto& t : lf.tokens) {
+    if (t.kind == TokKind::kIdent && t.text == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(LintLexer, LineCommentProducesNoTokens) {
+  const LexedFile lf = Lex("int x; // memcpy(dst, src, n)\n");
+  EXPECT_FALSE(HasIdent(lf, "memcpy"));
+  EXPECT_TRUE(HasIdent(lf, "x"));
+  ASSERT_EQ(lf.comment_text.size(), 2u);
+  EXPECT_NE(lf.comment_text[0].find("memcpy"), std::string::npos);
+  EXPECT_EQ(lf.comment_only[0], 0);  // the line carries code too
+}
+
+TEST(LintLexer, BlockCommentSpansLinesAndKeepsWaiverWindow) {
+  // A block comment spanning lines: every covered line is comment-only, so
+  // a waiver inside it reaches the first code line below.
+  const std::string src =
+      "int before;\n"
+      "/* csm-lint: allow(raw-page-copy) -- spans\n"
+      "   a waiver window */\n"
+      "int after;\n";
+  const LexedFile lf = Lex(src);
+  EXPECT_TRUE(HasIdent(lf, "before"));
+  EXPECT_TRUE(HasIdent(lf, "after"));
+  EXPECT_FALSE(HasIdent(lf, "allow"));
+  ASSERT_GE(lf.comment_only.size(), 4u);
+  EXPECT_EQ(lf.comment_only[0], 0);
+  EXPECT_EQ(lf.comment_only[1], 1);
+  EXPECT_EQ(lf.comment_only[2], 1);
+  EXPECT_EQ(lf.comment_only[3], 0);
+  EXPECT_NE(lf.comment_text[1].find("csm-lint:"), std::string::npos);
+}
+
+TEST(LintLexer, SlashSlashInsideStringIsNotAComment) {
+  const LexedFile lf = Lex("const char* url = \"http://x//y\"; int z;\n");
+  EXPECT_TRUE(HasIdent(lf, "z"));  // tokenization continued past the "//"
+  ASSERT_EQ(lf.comment_text.size(), 2u);
+  EXPECT_TRUE(lf.comment_text[0].empty());
+  bool found = false;
+  for (const auto& t : lf.tokens) {
+    if (t.kind == TokKind::kString) {
+      EXPECT_EQ(t.text, "\"http://x//y\"");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LintLexer, EscapedQuotesStayInsideTheLiteral) {
+  const LexedFile lf = Lex("f(\"a \\\" b\", memchr);\n");
+  ASSERT_EQ(IdentTexts(lf), (std::vector<std::string>{"f", "memchr"}));
+  ASSERT_EQ(lf.tokens[2].kind, TokKind::kString);
+  EXPECT_EQ(lf.tokens[2].text, "\"a \\\" b\"");
+}
+
+TEST(LintLexer, StringContentsAreOpaqueToRuleTokens) {
+  const LexedFile lf = Lex("log(\"memcpy into page\"); memmove(a, b, 4);\n");
+  EXPECT_FALSE(HasIdent(lf, "memcpy"));   // inside the literal
+  EXPECT_TRUE(HasIdent(lf, "memmove"));   // real code token
+}
+
+TEST(LintLexer, RawStringSwallowsQuotesCommentsAndNewlines) {
+  const std::string src =
+      "auto s = R\"lint(line one \" // not a comment\n"
+      "memcpy(p, q, n) /* still literal */\n"
+      ")lint\"; int tail;\n";
+  const LexedFile lf = Lex(src);
+  EXPECT_FALSE(HasIdent(lf, "memcpy"));
+  EXPECT_TRUE(HasIdent(lf, "tail"));
+  // No comment text was recorded anywhere in the literal body.
+  for (const auto& c : lf.comment_text) {
+    EXPECT_TRUE(c.empty());
+  }
+  // The literal body lines are code lines, not waiver-window lines.
+  ASSERT_GE(lf.comment_only.size(), 3u);
+  EXPECT_EQ(lf.comment_only[1], 0);
+  // The whole literal is one kString token starting on line 0.
+  bool found = false;
+  for (const auto& t : lf.tokens) {
+    if (t.kind == TokKind::kString && t.text.rfind("R\"lint(", 0) == 0) {
+      EXPECT_EQ(t.line, 0);
+      EXPECT_NE(t.text.find("memcpy"), std::string::npos);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LintLexer, LineContinuationGluesIdentifiers) {
+  // A backslash-newline splice inside an identifier: one token, and the
+  // fragments never appear on their own.
+  const LexedFile lf = Lex("int mem\\\ncpy_count;\n");
+  EXPECT_TRUE(HasIdent(lf, "memcpy_count"));
+  EXPECT_FALSE(HasIdent(lf, "mem"));
+  EXPECT_FALSE(HasIdent(lf, "cpy_count"));
+}
+
+TEST(LintLexer, LineContinuationExtendsLineComment) {
+  // A // comment ending in a backslash continues onto the next physical
+  // line — the next line's text is comment, not code.
+  const LexedFile lf = Lex("// waived here \\\nmemset(p, 0, n);\nint x;\n");
+  EXPECT_FALSE(HasIdent(lf, "memset"));
+  EXPECT_TRUE(HasIdent(lf, "x"));
+  ASSERT_GE(lf.comment_only.size(), 2u);
+  EXPECT_EQ(lf.comment_only[0], 1);
+  EXPECT_EQ(lf.comment_only[1], 1);
+  EXPECT_NE(lf.comment_text[1].find("memset"), std::string::npos);
+}
+
+TEST(LintLexer, PreprocessorLineIsOneOpaqueToken) {
+  const std::string src =
+      "#include \"proto//memcpy.h\"\n"
+      "#define COPY(d, s) \\\n"
+      "  memcpy(d, s, 4)\n"
+      "int x;\n";
+  const LexedFile lf = Lex(src);
+  EXPECT_FALSE(HasIdent(lf, "memcpy"));
+  EXPECT_TRUE(HasIdent(lf, "x"));
+  int pp = 0;
+  for (const auto& t : lf.tokens) {
+    if (t.kind == TokKind::kPp) {
+      ++pp;
+    }
+  }
+  EXPECT_EQ(pp, 2);  // the spliced #define is a single logical line
+}
+
+TEST(LintLexer, TokenLinesAreZeroBasedAndStable) {
+  const LexedFile lf = Lex("int a;\nint b;\n\nint c;\n");
+  std::vector<int> lines;
+  for (const auto& t : lf.tokens) {
+    if (t.kind == TokKind::kIdent && t.text != "int") {
+      lines.push_back(t.line);
+    }
+  }
+  EXPECT_EQ(lines, (std::vector<int>{0, 1, 3}));
+}
+
+TEST(LintLexer, MultiCharPunctuatorsDoNotSplit) {
+  const LexedFile lf = Lex("a->Write(x); b <<= 2; c <=> d;\n");
+  std::vector<std::string> puncts;
+  for (const auto& t : lf.tokens) {
+    if (t.kind == TokKind::kPunct) {
+      puncts.push_back(t.text);
+    }
+  }
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "->"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "<<="), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "<=>"), puncts.end());
+}
+
+TEST(LintLexer, CharLiteralsAndDigitSeparators) {
+  const LexedFile lf = Lex("char q = '\\''; auto n = 1'000'000u;\n");
+  bool char_ok = false;
+  bool num_ok = false;
+  for (const auto& t : lf.tokens) {
+    if (t.kind == TokKind::kChar && t.text == "'\\''") {
+      char_ok = true;
+    }
+    if (t.kind == TokKind::kNumber && t.text == "1'000'000u") {
+      num_ok = true;
+    }
+  }
+  EXPECT_TRUE(char_ok);
+  EXPECT_TRUE(num_ok);
+}
+
+}  // namespace

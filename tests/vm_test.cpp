@@ -39,8 +39,8 @@ TEST(ViewTest, ViewsOfSameArenaShareFrames) {
   Arena arena(cfg.heap_bytes, "shared");
   View v1(cfg, arena);
   View v2(cfg, arena);
-  v1.Protect(0, Perm::kReadWrite);
-  v2.Protect(0, Perm::kRead);
+  v1.Protect(0, Perm::kReadWrite);  // csm-lint: allow(raw-view-protect) -- exercises View's own API
+  v2.Protect(0, Perm::kRead);  // csm-lint: allow(raw-view-protect) -- exercises View's own API
   v1.base()[100] = std::byte{42};
   // Hardware coherence: the write is visible through the other view and
   // the protocol mapping.
@@ -53,7 +53,7 @@ TEST(ViewTest, ProtectionsAreIndependentPerView) {
   Arena arena(cfg.heap_bytes, "perm");
   View v1(cfg, arena);
   View v2(cfg, arena);
-  v1.Protect(2, Perm::kReadWrite);
+  v1.Protect(2, Perm::kReadWrite);  // csm-lint: allow(raw-view-protect) -- exercises View's own API
   EXPECT_EQ(v1.PermOf(2), Perm::kReadWrite);
   EXPECT_EQ(v2.PermOf(2), Perm::kInvalid);
 }
@@ -75,11 +75,11 @@ TEST(ViewTest, RemapSuperpageSwitchesBackingArena) {
   a.PagePtr(4)[0] = std::byte{1};  // superpage 1 starts at page 4
   b.PagePtr(4)[0] = std::byte{2};
   View v(cfg, a);
-  v.Protect(4, Perm::kRead);
+  v.Protect(4, Perm::kRead);  // csm-lint: allow(raw-view-protect) -- exercises View's own API
   EXPECT_EQ(std::to_integer<int>(v.base()[4 * kPageBytes]), 1);
   v.RemapSuperpage(1, b);
   EXPECT_EQ(v.PermOf(4), Perm::kInvalid);  // remap resets protections
-  v.Protect(4, Perm::kRead);
+  v.Protect(4, Perm::kRead);  // csm-lint: allow(raw-view-protect) -- exercises View's own API
   EXPECT_EQ(std::to_integer<int>(v.base()[4 * kPageBytes]), 2);
 }
 
@@ -94,6 +94,8 @@ class CountingSink : public FaultSink {
       return false;
     }
     (is_write ? *writes_ : *reads_).fetch_add(1);
+    // csm-lint: allow(raw-view-protect) -- a test-local fault sink granting
+    // access directly, below the protocol layer the batch engine serves
     view_->Protect(view_->PageOfAddr(addr), is_write ? Perm::kReadWrite : Perm::kRead);
     return true;
   }

@@ -1,520 +1,24 @@
-// csm_lint — syntactic enforcement of the MC word-atomicity and fault-path
-// discipline (DESIGN.md §10, docs/concurrency.md).
+// csm_lint — static enforcement of the MC word-atomicity, fault-path, and
+// lock-ordering discipline (DESIGN.md §10, docs/concurrency.md).
 //
-// The Memory Channel guarantees 32-bit write atomicity and nothing more
-// (paper, Section 2.1): every store that can land in shared page memory
-// must go through the word_access.hpp helpers, and the SIGSEGV fault path
-// must never block or allocate. The clang thread-safety analysis cannot see
-// either property, so this pass enforces them syntactically:
-//
-//   raw-page-copy        memcpy/memmove/memset/std::copy*/std::fill* in the
-//                        shared-memory domains (protocol/, mc/, msg/, vm/).
-//                        Bulk byte copies into page frames bypass word
-//                        atomicity; word_access.hpp is the one sanctioned
-//                        implementation site.
-//   word-cast-store      reinterpret_cast to a mutable pointer of a non-
-//                         32-bit arithmetic type in the same domains: the
-//                        cast that precedes a non-word-atomic store. Casts
-//                        to const pointers (reads) are not flagged.
-//   atomic-bypass        std::atomic_ref anywhere outside word_access.hpp.
-//                        Per-site atomic_ref with ad-hoc orderings is how
-//                        word-atomicity bugs sneak past review; all of them
-//                        live behind the Load/StoreWord32 helpers.
-//   fault-path-blocking  std::mutex / condition_variable / sleep /
-//                        heap allocation in SIGSEGV fault-path files
-//                        (fault_dispatcher.*). SpinLock is the only
-//                        sanctioned wait primitive there.
-//   raw-view-protect     `.Protect(` / `->Protect(` member calls outside
-//                        src/cashmere/vm/. Permission changes must go
-//                        through the PermBatch engine (or a ranged
-//                        ProtectRange for bulk setup) so the shadow-table
-//                        elision and range coalescing always apply; a
-//                        stray per-page View::Protect silently reopens the
-//                        one-syscall-per-page path.
-//   raw-dir-write        `.Write(` / `->Write(` / `WriteAndSnapshot(`
-//                        directory mutations in the shared-memory domains
-//                        outside directory.{cpp,hpp} itself. The async
-//                        release path (DESIGN.md §12) depends on the
-//                        logged flush never mutating directory words:
-//                        every transition funnels through UpdateDirWord
-//                        (fault/acquire path) or the ordered exclusive
-//                        claim, so the agent's deferred replay cannot race
-//                        a release-side store. Those are the sanctioned
-//                        (waived) sites; anything else is a release-path
-//                        directory write sneaking around the log.
-//                        In the sharded backend files (directory_sharded.*)
-//                        the rule also fires on raw `StoreWord32(` word
-//                        mutations: entry words may only be stored inside
-//                        the DirectoryBackend Write/WriteAndSnapshot
-//                        funnel (the two waived stores); a stray store
-//                        bypasses the entry's MC write order and the
-//                        claimant-snapshot arbitration.
-//   raw-mc-write         `.PagePtr(` / `->PagePtr(` / `.protocol_base(` /
-//                        `->protocol_base(` in the shared-memory domains
-//                        outside src/cashmere/mc/. These calls mint a raw
-//                        pointer into a registered shared segment — the
-//                        step that precedes a direct store bypassing the
-//                        McHub::Issue funnel (and, under the shm backend,
-//                        silently assuming this process's mapping).
-//                        Protocol code names frames position-independently
-//                        (Arena::FrameOf -> PageFrameRef) and resolves
-//                        through McTransport::Resolve; only the mc/ layer
-//                        and the registration site in runtime/ touch raw
-//                        segment bases.
-//
-// Waivers: a finding is suppressed by a same-line or immediately-preceding
-//   // csm-lint: allow(<rule>) -- <justification>
-// comment. The justification is mandatory; an allow() without one is itself
-// reported (bad-waiver).
-//
-// Fixture mode (--fixtures <dir>): every file must declare its domain with
-// `// csm-lint-domain: protocol|mc|msg|vm|fault-path` and the rules it must
-// trip with one `// csm-lint-expect: <rule>` line per expected finding.
-// The run fails if any fixture's found rule multiset differs from its
-// expectations — pinning both directions: the rules still fire, and they
-// do not overfire.
+// The analysis lives in tools/lint/ (token stream, function extractor,
+// call graph, rules); the rule catalogue, waiver syntax, and the lock-order
+// table are documented in docs/linting.md.
 //
 // Usage:
-//   csm_lint <dir-or-file>...      lint the tree; exit 1 on any finding
-//   csm_lint --fixtures <dir>      self-check against known-bad fixtures
-#include <algorithm>
-#include <cctype>
+//   csm_lint <dir-or-file>...              lint the tree; exit 1 on findings
+//   csm_lint --sarif <out.sarif> <dir>...  also write a SARIF 2.1.0 report
+//   csm_lint --fixtures <dir>              self-check against known fixtures
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
-namespace {
-
-namespace fs = std::filesystem;
-
-struct Finding {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string text;
-};
-
-struct FileInfo {
-  std::vector<std::string> raw;       // original lines
-  std::vector<std::string> stripped;  // comments + literals blanked
-  bool copy_domain = false;           // protocol/, mc/, msg/, vm/
-  bool fault_path = false;            // fault_dispatcher.*
-  bool word_access = false;           // the sanctioned atomics site
-  bool vm_dir = false;                // vm/ — View::Protect's home layer
-  bool mc_dir = false;                // mc/ — the transport layer itself
-  bool dir_home = false;              // directory.{cpp,hpp} — Directory's own file
-  bool dir_sharded = false;           // directory_sharded.* — sharded backend
-  std::vector<std::string> expects;   // fixture expectations
-};
-
-// Blanks string literals, character literals, and comments, preserving the
-// line structure so findings keep their line numbers. Directive comments
-// are parsed from the raw lines before this runs.
-std::vector<std::string> StripLines(const std::vector<std::string>& raw) {
-  std::vector<std::string> out;
-  out.reserve(raw.size());
-  bool in_block_comment = false;
-  for (const std::string& line : raw) {
-    std::string s;
-    s.reserve(line.size());
-    for (std::size_t i = 0; i < line.size();) {
-      if (in_block_comment) {
-        if (line.compare(i, 2, "*/") == 0) {
-          in_block_comment = false;
-          i += 2;
-        } else {
-          ++i;
-        }
-        continue;
-      }
-      if (line.compare(i, 2, "//") == 0) {
-        break;  // rest of line is a comment
-      }
-      if (line.compare(i, 2, "/*") == 0) {
-        in_block_comment = true;
-        i += 2;
-        continue;
-      }
-      const char c = line[i];
-      if (c == '"' || c == '\'') {
-        const char quote = c;
-        ++i;
-        while (i < line.size()) {
-          if (line[i] == '\\') {
-            i += 2;
-          } else if (line[i] == quote) {
-            ++i;
-            break;
-          } else {
-            ++i;
-          }
-        }
-        s.push_back(quote);
-        s.push_back(quote);
-        continue;
-      }
-      s.push_back(c);
-      ++i;
-    }
-    out.push_back(std::move(s));
-  }
-  return out;
-}
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// Whole-token search: `needle` must not be flanked by identifier chars.
-// Needles containing '.' or ':' match as given (callers pass qualified
-// names where needed).
-bool ContainsToken(const std::string& hay, const std::string& needle) {
-  std::size_t pos = 0;
-  while ((pos = hay.find(needle, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !IsIdentChar(hay[pos - 1]);
-    const std::size_t end = pos + needle.size();
-    const bool right_ok = end >= hay.size() || !IsIdentChar(hay[end]);
-    if (left_ok && right_ok) {
-      return true;
-    }
-    pos = end;
-  }
-  return false;
-}
-
-std::string Trimmed(const std::string& s) {
-  std::size_t b = s.find_first_not_of(" \t");
-  if (b == std::string::npos) {
-    return "";
-  }
-  std::size_t e = s.find_last_not_of(" \t");
-  return s.substr(b, e - b + 1);
-}
-
-// Parses `// csm-lint: allow(rule) -- justification`. Returns true if the
-// line carries a waiver; `rule` and `justified` describe it.
-bool ParseWaiver(const std::string& raw_line, std::string* rule, bool* justified) {
-  const std::size_t at = raw_line.find("csm-lint: allow(");
-  if (at == std::string::npos) {
-    return false;
-  }
-  const std::size_t open = at + std::string("csm-lint: allow(").size() - 1;
-  const std::size_t close = raw_line.find(')', open);
-  if (close == std::string::npos) {
-    return false;
-  }
-  *rule = raw_line.substr(open + 1, close - open - 1);
-  const std::size_t dashes = raw_line.find("--", close);
-  *justified = dashes != std::string::npos && !Trimmed(raw_line.substr(dashes + 2)).empty();
-  return true;
-}
-
-// A waiver covers its own line (trailing comment) or a flagged line it
-// immediately precedes, possibly with further comment lines in between (so
-// a justification may wrap). Only justified waivers suppress.
-bool Waived(const FileInfo& f, std::size_t line_index, const std::string& rule) {
-  std::string waiver_rule;
-  bool justified = false;
-  if (ParseWaiver(f.raw[line_index], &waiver_rule, &justified) && waiver_rule == rule &&
-      justified) {
-    return true;
-  }
-  for (std::size_t j = line_index; j-- > 0;) {
-    const std::string t = Trimmed(f.raw[j]);
-    if (t.rfind("//", 0) != 0) {
-      break;  // not a comment line: the waiver window ends
-    }
-    if (ParseWaiver(f.raw[j], &waiver_rule, &justified) && waiver_rule == rule &&
-        justified) {
-      return true;
-    }
-  }
-  return false;
-}
-
-// word-cast-store: reinterpret_cast<T*> where T is a mutable arithmetic
-// type that is not 32 bits wide. These are the casts that precede raw
-// multi-byte or sub-word stores into page memory.
-bool FlagsWordCast(const std::string& stripped) {
-  static const char* kBadBases[] = {
-      "std::uint8_t",  "std::int8_t",  "std::uint16_t", "std::int16_t",
-      "std::uint64_t", "std::int64_t", "unsigned char", "unsigned short",
-      "unsigned long", "char",         "short",         "long",
-      "float",         "double",
-  };
-  std::size_t pos = 0;
-  while ((pos = stripped.find("reinterpret_cast<", pos)) != std::string::npos) {
-    const std::size_t open = pos + std::string("reinterpret_cast<").size();
-    const std::size_t close = stripped.find('>', open);
-    pos = open;
-    if (close == std::string::npos) {
-      continue;
-    }
-    const std::string type = Trimmed(stripped.substr(open, close - open));
-    if (type.find('*') == std::string::npos) {
-      continue;  // not a pointer cast (e.g. uintptr_t)
-    }
-    if (type.rfind("const ", 0) == 0) {
-      continue;  // read-only view
-    }
-    for (const char* base : kBadBases) {
-      if (type.rfind(base, 0) == 0) {
-        return true;
-      }
-    }
-  }
-  return false;
-}
-
-void LintFile(const FileInfo& f, const std::string& display_path,
-              std::vector<Finding>* findings) {
-  static const char* kRawCopyTokens[] = {
-      "memcpy", "memmove", "memset", "std::copy", "std::copy_n", "std::fill",
-      "std::fill_n",
-  };
-  static const char* kFaultPathTokens[] = {
-      "std::mutex",  "std::condition_variable",
-      "sleep_for",   "sleep_until",
-      "usleep",      "nanosleep",
-      "malloc",      "calloc",
-      "realloc",     "new",
-  };
-  auto report = [&](std::size_t i, const char* rule) {
-    if (Waived(f, i, rule)) {
-      return;
-    }
-    findings->push_back(Finding{display_path, static_cast<int>(i + 1), rule,
-                                Trimmed(f.raw[i])});
-  };
-  for (std::size_t i = 0; i < f.stripped.size(); ++i) {
-    const std::string& s = f.stripped[i];
-    // A waiver must carry a justification; an unjustified allow() is itself
-    // a finding, so a rubber stamp cannot silence the pass.
-    {
-      std::string waiver_rule;
-      bool justified = false;
-      if (ParseWaiver(f.raw[i], &waiver_rule, &justified) && !justified) {
-        findings->push_back(
-            Finding{display_path, static_cast<int>(i + 1), "bad-waiver",
-                    "csm-lint: allow() without a '-- justification'"});
-      }
-    }
-    if (f.word_access) {
-      continue;  // the sanctioned implementation site
-    }
-    if (ContainsToken(s, "atomic_ref")) {
-      report(i, "atomic-bypass");
-    }
-    // Plain substring match, not ContainsToken: the needle's leading '.'
-    // or '->' is itself the left boundary (the char before it is the
-    // object identifier), and '(' bounds the right — `.ProtectRange(`
-    // never matches.
-    if (!f.vm_dir && (s.find(".Protect(") != std::string::npos ||
-                      s.find("->Protect(") != std::string::npos)) {
-      report(i, "raw-view-protect");
-    }
-    // Same boundary trick as raw-view-protect: the leading '.'/'->' and the
-    // trailing '(' bound the member-call needles. Arena's own inline
-    // definitions don't match (no '.'/'->' prefix on a declaration).
-    if (f.copy_domain && !f.mc_dir &&
-        (s.find(".PagePtr(") != std::string::npos ||
-         s.find("->PagePtr(") != std::string::npos ||
-         s.find(".protocol_base(") != std::string::npos ||
-         s.find("->protocol_base(") != std::string::npos)) {
-      report(i, "raw-mc-write");
-    }
-    // Same boundary trick as raw-view-protect. `->WriteAndSnapshot(` does
-    // not double-fire the `->Write(` needle (next char is 'A', not '(').
-    if (f.copy_domain && !f.dir_home &&
-        (s.find(".Write(") != std::string::npos ||
-         s.find("->Write(") != std::string::npos ||
-         s.find(".WriteAndSnapshot(") != std::string::npos ||
-         s.find("->WriteAndSnapshot(") != std::string::npos)) {
-      report(i, "raw-dir-write");
-    }
-    // Sharded backend files: entry-word stores are directory mutations.
-    // Only the Write/WriteAndSnapshot funnel stores (explicitly waived)
-    // may touch the owner-side entry words.
-    if (f.dir_sharded && ContainsToken(s, "StoreWord32")) {
-      report(i, "raw-dir-write");
-    }
-    if (f.copy_domain) {
-      for (const char* tok : kRawCopyTokens) {
-        if (ContainsToken(s, tok)) {
-          report(i, "raw-page-copy");
-          break;
-        }
-      }
-      if (FlagsWordCast(s)) {
-        report(i, "word-cast-store");
-      }
-    }
-    if (f.fault_path) {
-      for (const char* tok : kFaultPathTokens) {
-        if (ContainsToken(s, tok)) {
-          report(i, "fault-path-blocking");
-          break;
-        }
-      }
-    }
-  }
-}
-
-bool LoadFile(const fs::path& path, FileInfo* out) {
-  std::ifstream in(path);
-  if (!in) {
-    return false;
-  }
-  std::string line;
-  while (std::getline(in, line)) {
-    out->raw.push_back(line);
-  }
-  out->stripped = StripLines(out->raw);
-  const std::string generic = path.generic_string();
-  const std::string name = path.filename().string();
-  out->copy_domain = generic.find("/protocol/") != std::string::npos ||
-                     generic.find("/mc/") != std::string::npos ||
-                     generic.find("/msg/") != std::string::npos ||
-                     generic.find("/vm/") != std::string::npos;
-  out->fault_path = name.rfind("fault_dispatcher", 0) == 0;
-  out->word_access = name == "word_access.hpp";
-  out->vm_dir = generic.find("/vm/") != std::string::npos;
-  out->mc_dir = generic.find("/mc/") != std::string::npos;
-  out->dir_home = name == "directory.cpp" || name == "directory.hpp";
-  out->dir_sharded = name.rfind("directory_sharded", 0) == 0;
-  // Fixture directives override path classification.
-  for (const std::string& raw : out->raw) {
-    std::size_t at = raw.find("csm-lint-domain:");
-    if (at != std::string::npos) {
-      const std::string domain =
-          Trimmed(raw.substr(at + std::string("csm-lint-domain:").size()));
-      out->copy_domain = domain == "protocol" || domain == "mc" || domain == "msg" ||
-                         domain == "vm" || domain == "dir-sharded";
-      out->fault_path = domain == "fault-path";
-      out->vm_dir = domain == "vm";
-      out->mc_dir = domain == "mc";
-      out->dir_sharded = domain == "dir-sharded";
-    }
-    at = raw.find("csm-lint-expect:");
-    if (at != std::string::npos) {
-      // First token only: text after the rule name is free-form commentary.
-      std::string rest = Trimmed(raw.substr(at + std::string("csm-lint-expect:").size()));
-      const std::size_t space = rest.find_first_of(" \t");
-      if (space != std::string::npos) {
-        rest = rest.substr(0, space);
-      }
-      out->expects.push_back(rest);
-    }
-  }
-  return true;
-}
-
-bool LintableExtension(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
-}
-
-std::vector<fs::path> CollectFiles(const std::vector<std::string>& roots) {
-  std::vector<fs::path> files;
-  for (const std::string& root : roots) {
-    const fs::path p(root);
-    if (fs::is_regular_file(p)) {
-      files.push_back(p);
-      continue;
-    }
-    for (const auto& entry : fs::recursive_directory_iterator(p)) {
-      if (entry.is_regular_file() && LintableExtension(entry.path())) {
-        files.push_back(entry.path());
-      }
-    }
-  }
-  std::sort(files.begin(), files.end());
-  return files;
-}
-
-int RunLint(const std::vector<std::string>& roots) {
-  std::vector<Finding> findings;
-  int scanned = 0;
-  for (const fs::path& path : CollectFiles(roots)) {
-    FileInfo f;
-    if (!LoadFile(path, &f)) {
-      std::fprintf(stderr, "csm_lint: cannot read %s\n", path.string().c_str());
-      return 2;
-    }
-    ++scanned;
-    LintFile(f, path.string(), &findings);
-  }
-  for (const Finding& fd : findings) {
-    std::fprintf(stderr, "%s:%d: [%s] %s\n", fd.file.c_str(), fd.line,
-                 fd.rule.c_str(), fd.text.c_str());
-  }
-  std::fprintf(stderr, "csm_lint: %d file(s), %zu finding(s)\n", scanned,
-               findings.size());
-  return findings.empty() ? 0 : 1;
-}
-
-// Fixture self-check: every fixture must trip exactly the rules its
-// csm-lint-expect lines declare (as a multiset) — no more, no fewer. This
-// pins the rules in both directions: a regression that stops a rule from
-// firing fails just as loudly as one that makes it overfire.
-int RunFixtures(const std::string& dir) {
-  int failures = 0;
-  int checked = 0;
-  for (const fs::path& path : CollectFiles({dir})) {
-    FileInfo f;
-    if (!LoadFile(path, &f)) {
-      std::fprintf(stderr, "csm_lint: cannot read %s\n", path.string().c_str());
-      return 2;
-    }
-    ++checked;
-    if (f.expects.empty()) {
-      std::fprintf(stderr, "csm_lint: fixture %s declares no csm-lint-expect\n",
-                   path.string().c_str());
-      ++failures;
-      continue;
-    }
-    std::vector<Finding> findings;
-    LintFile(f, path.string(), &findings);
-    std::map<std::string, int> expected;
-    for (const std::string& rule : f.expects) {
-      ++expected[rule];
-    }
-    std::map<std::string, int> found;
-    for (const Finding& fd : findings) {
-      ++found[fd.rule];
-    }
-    if (expected == found) {
-      std::fprintf(stderr, "csm_lint: fixture %s OK (%zu finding(s))\n",
-                   path.string().c_str(), findings.size());
-      continue;
-    }
-    ++failures;
-    std::fprintf(stderr, "csm_lint: fixture %s MISMATCH\n", path.string().c_str());
-    for (const auto& [rule, n] : expected) {
-      std::fprintf(stderr, "  expected %dx %s\n", n, rule.c_str());
-    }
-    for (const Finding& fd : findings) {
-      std::fprintf(stderr, "  found %s:%d [%s] %s\n", fd.file.c_str(), fd.line,
-                   fd.rule.c_str(), fd.text.c_str());
-    }
-  }
-  if (checked == 0) {
-    std::fprintf(stderr, "csm_lint: no fixtures found in %s\n", dir.c_str());
-    return 1;
-  }
-  std::fprintf(stderr, "csm_lint: %d fixture(s), %d mismatch(es)\n", checked, failures);
-  return failures == 0 ? 0 : 1;
-}
-
-}  // namespace
+#include "lint/driver.hpp"
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::string fixtures;
+  std::string sarif;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--fixtures") {
@@ -523,16 +27,24 @@ int main(int argc, char** argv) {
         return 2;
       }
       fixtures = argv[++i];
+    } else if (arg == "--sarif") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "csm_lint: --sarif needs an output path\n");
+        return 2;
+      }
+      sarif = argv[++i];
     } else {
       roots.push_back(arg);
     }
   }
   if (!fixtures.empty()) {
-    return RunFixtures(fixtures);
+    return csmlint::RunFixtures(fixtures);
   }
   if (roots.empty()) {
-    std::fprintf(stderr, "usage: csm_lint <dir-or-file>... | --fixtures <dir>\n");
+    std::fprintf(stderr,
+                 "usage: csm_lint [--sarif <out>] <dir-or-file>... | "
+                 "--fixtures <dir>\n");
     return 2;
   }
-  return RunLint(roots);
+  return csmlint::RunTree(roots, sarif);
 }

@@ -1,0 +1,28 @@
+// csm_lint drivers: whole-tree scan (text + optional SARIF) and the
+// multiset-pinned fixture self-check (single files and cross-file groups).
+#ifndef CSM_LINT_DRIVER_HPP_
+#define CSM_LINT_DRIVER_HPP_
+
+#include <string>
+#include <vector>
+
+namespace csmlint {
+
+// Lints every .cpp/.hpp/.cc/.h under the roots (lint_fixtures/ excluded),
+// building one call-graph universe; src/cashmere files participate in the
+// interprocedural rules. Prints text findings to stderr; writes a SARIF
+// 2.1.0 report to `sarif_path` when non-empty. Exit code: 0 clean, 1
+// findings, 2 I/O error.
+int RunTree(const std::vector<std::string>& roots,
+            const std::string& sarif_path);
+
+// Fixture self-check: top-level files in `dir` are single-file universes;
+// subdirectories are cross-file groups sharing one call graph (the
+// interprocedural fixtures). Every fixture file must declare either
+// csm-lint-expect lines or `csm-lint-expect: none`; the found rule multiset
+// must match exactly, pinning both fire and no-overfire directions.
+int RunFixtures(const std::string& dir);
+
+}  // namespace csmlint
+
+#endif  // CSM_LINT_DRIVER_HPP_

@@ -1,0 +1,411 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace csmlint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Longest-match punctuator table. Only multi-char sequences that could be
+// mis-split into meaningful fragments need listing; everything else falls
+// through to a single-char token.
+const char* const kPuncts3[] = {"<<=", ">>=", "->*", "...", "<=>"};
+const char* const kPuncts2[] = {"::", "->", "<<", ">>", "<=", ">=", "==", "!=",
+                                "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=",
+                                "|=", "^=", "++", "--", ".*", "##"};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  LexedFile Run() {
+    while (i_ < text_.size()) {
+      SkipSplices();
+      if (i_ >= text_.size()) {
+        break;
+      }
+      const char c = text_[i_];
+      if (c == '\n') {
+        ++i_;
+        ++line_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++i_;
+        continue;
+      }
+      if (c == '/' && Next() == '/') {
+        LineComment();
+        continue;
+      }
+      if (c == '/' && Next() == '*') {
+        BlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        Preprocessor();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        Identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(Next())) != 0)) {
+        Number();
+        continue;
+      }
+      if (c == '"') {
+        StringLit("");
+        continue;
+      }
+      if (c == '\'') {
+        CharLit("");
+        continue;
+      }
+      Punct();
+    }
+    Finish();
+    return std::move(out_);
+  }
+
+ private:
+  char Next() const { return i_ + 1 < text_.size() ? text_[i_ + 1] : '\0'; }
+
+  // Applies phase-2 backslash-newline splices at the cursor. Not used
+  // inside raw-string bodies (the standard reverts splices there).
+  void SkipSplices() {
+    while (i_ < text_.size() && text_[i_] == '\\') {
+      std::size_t j = i_ + 1;
+      if (j < text_.size() && text_[j] == '\r') {
+        ++j;
+      }
+      if (j < text_.size() && text_[j] == '\n') {
+        i_ = j + 1;
+        ++line_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void EnsureLine(int line) {
+    while (static_cast<int>(has_code_.size()) <= line) {
+      has_code_.push_back(false);
+      out_.comment_text.emplace_back();
+    }
+  }
+  void MarkCode(int first, int last) {
+    EnsureLine(last);
+    for (int l = first; l <= last; ++l) {
+      has_code_[l] = true;
+    }
+    at_line_start_ = false;
+  }
+  void AddComment(int line, const std::string& s) {
+    EnsureLine(line);
+    out_.comment_text[line] += s;
+  }
+
+  void Emit(TokKind kind, std::string text, int start_line, int end_line) {
+    MarkCode(start_line, end_line);
+    out_.tokens.push_back(Token{kind, std::move(text), start_line});
+  }
+
+  void LineComment() {
+    std::string buf;
+    i_ += 2;  // "//"
+    while (i_ < text_.size()) {
+      if (text_[i_] == '\\') {
+        // A spliced newline continues the comment onto the next line.
+        std::size_t j = i_ + 1;
+        if (j < text_.size() && text_[j] == '\r') {
+          ++j;
+        }
+        if (j < text_.size() && text_[j] == '\n') {
+          AddComment(line_, buf);
+          buf.clear();
+          i_ = j + 1;
+          ++line_;
+          continue;
+        }
+      }
+      if (text_[i_] == '\n') {
+        break;  // leave the newline for the main loop
+      }
+      buf.push_back(text_[i_]);
+      ++i_;
+    }
+    AddComment(line_, buf);
+  }
+
+  void BlockComment() {
+    std::string buf;
+    i_ += 2;  // "/*"
+    while (i_ < text_.size()) {
+      if (text_[i_] == '*' && Next() == '/') {
+        i_ += 2;
+        break;
+      }
+      if (text_[i_] == '\n') {
+        AddComment(line_, buf);
+        buf.clear();
+        ++i_;
+        ++line_;
+        continue;
+      }
+      buf.push_back(text_[i_]);
+      ++i_;
+    }
+    AddComment(line_, buf);
+  }
+
+  // One whole preprocessor logical line becomes a single opaque token:
+  // #include paths and macro replacement text never reach the rules.
+  void Preprocessor() {
+    const int start = line_;
+    std::string buf;
+    while (i_ < text_.size()) {
+      SkipSplices();
+      if (i_ >= text_.size() || text_[i_] == '\n') {
+        break;
+      }
+      const char c = text_[i_];
+      if (c == '/' && Next() == '/') {
+        LineComment();
+        break;
+      }
+      if (c == '/' && Next() == '*') {
+        BlockComment();
+        buf.push_back(' ');
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        // Consume a quoted region opaquely so a // inside it cannot be
+        // mistaken for a comment (e.g. #include "a//b.h").
+        const char quote = c;
+        buf.push_back(c);
+        ++i_;
+        while (i_ < text_.size() && text_[i_] != '\n') {
+          buf.push_back(text_[i_]);
+          if (text_[i_] == '\\' && i_ + 1 < text_.size() &&
+              text_[i_ + 1] != '\n') {
+            buf.push_back(text_[i_ + 1]);
+            i_ += 2;
+            continue;
+          }
+          if (text_[i_] == quote) {
+            ++i_;
+            break;
+          }
+          ++i_;
+        }
+        continue;
+      }
+      buf.push_back(c);
+      ++i_;
+    }
+    Emit(TokKind::kPp, std::move(buf), start, line_);
+  }
+
+  void Identifier() {
+    const int start = line_;
+    std::string buf;
+    while (i_ < text_.size()) {
+      SkipSplices();
+      if (i_ < text_.size() && IsIdentChar(text_[i_])) {
+        buf.push_back(text_[i_]);
+        ++i_;
+      } else {
+        break;
+      }
+    }
+    // Encoding prefixes / raw-string markers glue onto a following literal.
+    if (i_ < text_.size() && text_[i_] == '"') {
+      if (buf == "R" || buf == "LR" || buf == "uR" || buf == "UR" ||
+          buf == "u8R") {
+        RawString(buf, start);
+        return;
+      }
+      if (buf == "u8" || buf == "u" || buf == "U" || buf == "L") {
+        StringLit(buf);
+        return;
+      }
+    }
+    if (i_ < text_.size() && text_[i_] == '\'' &&
+        (buf == "u8" || buf == "u" || buf == "U" || buf == "L")) {
+      CharLit(buf);
+      return;
+    }
+    Emit(TokKind::kIdent, std::move(buf), start, line_);
+  }
+
+  void Number() {
+    const int start = line_;
+    std::string buf;
+    char prev = '\0';
+    while (i_ < text_.size()) {
+      SkipSplices();
+      if (i_ >= text_.size()) {
+        break;
+      }
+      const char c = text_[i_];
+      const bool sign_ok =
+          (c == '+' || c == '-') && (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P');
+      if (IsIdentChar(c) || c == '.' || c == '\'' || sign_ok) {
+        buf.push_back(c);
+        prev = c;
+        ++i_;
+      } else {
+        break;
+      }
+    }
+    Emit(TokKind::kNumber, std::move(buf), start, line_);
+  }
+
+  void StringLit(const std::string& prefix) {
+    const int start = line_;
+    std::string buf = prefix;
+    buf.push_back('"');
+    ++i_;  // opening quote
+    while (i_ < text_.size()) {
+      const char c = text_[i_];
+      if (c == '\\') {
+        std::size_t j = i_ + 1;
+        if (j < text_.size() && text_[j] == '\r') {
+          ++j;
+        }
+        if (j < text_.size() && text_[j] == '\n') {
+          i_ = j + 1;  // splice inside the literal
+          ++line_;
+          continue;
+        }
+        if (i_ + 1 < text_.size()) {
+          buf.push_back(c);
+          buf.push_back(text_[i_ + 1]);
+          i_ += 2;
+          continue;
+        }
+        ++i_;
+        continue;
+      }
+      if (c == '\n') {
+        break;  // unterminated; degrade to end-of-line
+      }
+      buf.push_back(c);
+      ++i_;
+      if (c == '"') {
+        break;
+      }
+    }
+    Emit(TokKind::kString, std::move(buf), start, line_);
+  }
+
+  void CharLit(const std::string& prefix) {
+    const int start = line_;
+    std::string buf = prefix;
+    buf.push_back('\'');
+    ++i_;
+    while (i_ < text_.size()) {
+      const char c = text_[i_];
+      if (c == '\\' && i_ + 1 < text_.size() && text_[i_ + 1] != '\n') {
+        buf.push_back(c);
+        buf.push_back(text_[i_ + 1]);
+        i_ += 2;
+        continue;
+      }
+      if (c == '\n') {
+        break;
+      }
+      buf.push_back(c);
+      ++i_;
+      if (c == '\'') {
+        break;
+      }
+    }
+    Emit(TokKind::kChar, std::move(buf), start, line_);
+  }
+
+  // R"delim( ... )delim" — read verbatim, no splices, no escapes.
+  void RawString(const std::string& prefix, int start) {
+    std::string buf = prefix;
+    buf.push_back('"');
+    ++i_;  // opening quote
+    std::string delim;
+    while (i_ < text_.size() && text_[i_] != '(' && text_[i_] != '\n' &&
+           delim.size() < 16) {
+      delim.push_back(text_[i_]);
+      buf.push_back(text_[i_]);
+      ++i_;
+    }
+    if (i_ < text_.size() && text_[i_] == '(') {
+      buf.push_back('(');
+      ++i_;
+      const std::string close = ")" + delim + "\"";
+      while (i_ < text_.size()) {
+        if (text_[i_] == '\n') {
+          ++line_;
+          EnsureLine(line_);
+          has_code_[line_] = true;  // literal body occupies the line
+        }
+        if (text_.compare(i_, close.size(), close) == 0) {
+          buf += close;
+          i_ += close.size();
+          break;
+        }
+        buf.push_back(text_[i_]);
+        ++i_;
+      }
+    }
+    Emit(TokKind::kString, std::move(buf), start, line_);
+  }
+
+  void Punct() {
+    const int start = line_;
+    for (const char* p : kPuncts3) {
+      if (text_.compare(i_, 3, p) == 0) {
+        i_ += 3;
+        Emit(TokKind::kPunct, p, start, start);
+        return;
+      }
+    }
+    for (const char* p : kPuncts2) {
+      if (text_.compare(i_, 2, p) == 0) {
+        i_ += 2;
+        Emit(TokKind::kPunct, p, start, start);
+        return;
+      }
+    }
+    Emit(TokKind::kPunct, std::string(1, text_[i_]), start, start);
+    ++i_;
+  }
+
+  void Finish() {
+    EnsureLine(line_);
+    out_.comment_only.resize(has_code_.size());
+    for (std::size_t l = 0; l < has_code_.size(); ++l) {
+      out_.comment_only[l] =
+          !has_code_[l] && !out_.comment_text[l].empty() ? 1 : 0;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t i_ = 0;
+  int line_ = 0;
+  bool at_line_start_ = true;
+  std::vector<bool> has_code_;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile Lex(const std::string& text) { return Lexer(text).Run(); }
+
+}  // namespace csmlint

@@ -1,0 +1,60 @@
+// csm_lint token stream: a minimal C++ lexer good enough for syntactic
+// protocol linting. It is not a compiler front end — no preprocessing, no
+// template instantiation — but it gets the lexical structure right where
+// the old per-line regex pass got it wrong:
+//
+//   - comments (// and /* */) never produce code tokens, so a rule token
+//     mentioned in prose cannot fire a finding or mask one;
+//   - string / character literals (including raw strings and encoding
+//     prefixes) are single kString/kChar tokens whose contents are opaque;
+//   - backslash-newline splices are applied before tokenization (phase 2),
+//     so an identifier or literal split across physical lines lexes as one
+//     token (splices are NOT applied inside raw-string bodies, matching
+//     the standard's raw-string reversion);
+//   - a preprocessor directive is one kPp token covering its whole logical
+//     line, so #include paths and macro bodies are invisible to rules.
+//
+// Comment text is preserved per source line (csm-lint waivers and fixture
+// directives live in comments), together with a per-line "comment only"
+// flag that defines the waiver window: a waiver covers its own line or a
+// flagged line it precedes across a contiguous run of comment-only lines.
+#ifndef CSM_LINT_LEXER_HPP_
+#define CSM_LINT_LEXER_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csmlint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // pp-number (integer / floating literals, digit separators)
+  kString,  // string literal, incl. raw strings; text includes delimiters
+  kChar,    // character literal
+  kPunct,   // operators and punctuators (multi-char greedily matched)
+  kPp,      // one whole preprocessor logical line
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 0-based line where the token starts
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;  // code tokens only; comments never appear
+  // Per 0-based source line: concatenated comment text on that line (empty
+  // if the line carries no comment), and whether the line consists of
+  // nothing but comments/whitespace (the waiver-window predicate).
+  std::vector<std::string> comment_text;
+  std::vector<std::uint8_t> comment_only;
+};
+
+// Lexes a whole translation unit. Never fails: malformed input degrades to
+// best-effort tokens (an unterminated literal ends at end of line/file).
+LexedFile Lex(const std::string& text);
+
+}  // namespace csmlint
+
+#endif  // CSM_LINT_LEXER_HPP_
